@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Simulator-throughput microbenchmarks (google-benchmark): how many
+ * simulated instructions per second each model sustains, plus the
+ * cost of trace generation. These guard against performance
+ * regressions in the simulators themselves.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/ooosim.hh"
+#include "ref/refsim.hh"
+#include "tgen/benchmarks.hh"
+
+using namespace oova;
+
+namespace
+{
+
+const Trace &
+cachedTrace()
+{
+    static Trace t = [] {
+        GenOptions o;
+        o.scale = 0.5;
+        return makeBenchmarkTrace("hydro2d", o);
+    }();
+    return t;
+}
+
+} // namespace
+
+static void
+BM_TraceGeneration(benchmark::State &state)
+{
+    GenOptions o;
+    o.scale = 0.25;
+    size_t n = 0;
+    for (auto _ : state) {
+        Trace t = makeBenchmarkTrace("swm256", o);
+        n = t.size();
+        benchmark::DoNotOptimize(t);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_TraceGeneration);
+
+static void
+BM_RefSim(benchmark::State &state)
+{
+    const Trace &t = cachedTrace();
+    for (auto _ : state) {
+        SimResult r = simulateRef(t, RefConfig{});
+        benchmark::DoNotOptimize(r.cycles);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * t.size()));
+}
+BENCHMARK(BM_RefSim);
+
+static void
+BM_OooSim(benchmark::State &state)
+{
+    const Trace &t = cachedTrace();
+    OooConfig cfg;
+    cfg.numPhysVRegs = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        SimResult r = simulateOoo(t, cfg);
+        benchmark::DoNotOptimize(r.cycles);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * t.size()));
+}
+BENCHMARK(BM_OooSim)->Arg(16)->Arg(64);
+
+static void
+BM_OooSimLoadElim(benchmark::State &state)
+{
+    const Trace &t = cachedTrace();
+    OooConfig cfg;
+    cfg.numPhysVRegs = 32;
+    cfg.commit = CommitMode::Late;
+    cfg.loadElim = LoadElimMode::SleVle;
+    for (auto _ : state) {
+        SimResult r = simulateOoo(t, cfg);
+        benchmark::DoNotOptimize(r.cycles);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * t.size()));
+}
+BENCHMARK(BM_OooSimLoadElim);
+
+BENCHMARK_MAIN();

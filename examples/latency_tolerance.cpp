@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Latency-tolerance demo (the paper's figure 8 in miniature): sweep
+ * main-memory latency from 1 to 200 cycles and watch the in-order
+ * reference machine degrade while the OOOVA stays nearly flat —
+ * the paper's argument that out-of-order vector machines can use
+ * cheap, slow DRAM without losing throughput.
+ */
+
+#include <cstdio>
+
+#include "core/ooosim.hh"
+#include "ref/refsim.hh"
+#include "tgen/benchmarks.hh"
+
+using namespace oova;
+
+int
+main()
+{
+    GenOptions opts;
+    opts.scale = 0.5;
+    Trace trace = makeBenchmarkTrace("flo52", opts);
+    std::printf("program: %s (%zu instructions)\n\n",
+                trace.name().c_str(), trace.size());
+
+    std::printf("%8s %12s %12s %10s %14s\n", "latency", "REF cycles",
+                "OOOVA cycles", "speedup", "OOOVA vs lat=1");
+
+    Cycle ooo_at_1 = 0;
+    for (unsigned lat : {1u, 25u, 50u, 75u, 100u, 150u, 200u}) {
+        RefConfig rc;
+        rc.lat.memLatency = lat;
+        SimResult ref = simulateRef(trace, rc);
+
+        OooConfig oc;
+        oc.lat.memLatency = lat;
+        SimResult ooo = simulateOoo(trace, oc);
+        if (lat == 1)
+            ooo_at_1 = ooo.cycles;
+
+        std::printf("%8u %12llu %12llu %9.2fx %13.1f%%\n", lat,
+                    (unsigned long long)ref.cycles,
+                    (unsigned long long)ooo.cycles,
+                    (double)ref.cycles / (double)ooo.cycles,
+                    100.0 * ((double)ooo.cycles / (double)ooo_at_1 -
+                             1.0));
+    }
+    std::printf("\nThe paper tolerates 100-cycle memory with <6%% "
+                "degradation; cheap DRAM instead of\nexpensive SRAM "
+                "becomes viable (section 4.3).\n");
+    return 0;
+}

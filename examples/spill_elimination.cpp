@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Dynamic load elimination demo (paper section 6): build a kernel
+ * whose working set exceeds the 8 architected vector registers, so
+ * the compiler must spill; then watch the OOOVA's register tags
+ * turn the spill reloads into rename-table updates — less memory
+ * traffic and more speed, without recompiling.
+ */
+
+#include <cstdio>
+
+#include "core/ooosim.hh"
+#include "tgen/program.hh"
+#include "trace/trace_stats.hh"
+
+using namespace oova;
+
+int
+main()
+{
+    // Sixteen simultaneously live values in an 8-register ISA:
+    // guaranteed spill code.
+    Program prog("spilly");
+    int in = prog.array(512 * 1024);
+    int out = prog.array(512 * 1024);
+
+    Kernel *k = prog.newKernel("wide");
+    VVid vals[16];
+    for (auto &v : vals)
+        v = k->vload(in);
+    VVid acc = k->vadd(vals[0], vals[1]);
+    for (int i = 2; i < 16; ++i)
+        acc = k->vadd(acc, vals[i]);
+    k->vstore(out, acc);
+    prog.addLoop(k, 60, vlConstant(96));
+    prog.setOuterReps(2);
+
+    Trace trace = prog.generate();
+    TraceStats stats = TraceStats::compute(trace);
+    std::printf("trace: %zu instructions, %.0f%% of vector memory "
+                "traffic is spill traffic\n\n",
+                trace.size(), 100.0 * stats.spillTrafficFraction());
+
+    auto run = [&](LoadElimMode mode, const char *name) {
+        OooConfig cfg;
+        cfg.numPhysVRegs = 32;
+        cfg.commit = CommitMode::Late;
+        cfg.loadElim = mode;
+        SimResult r = simulateOoo(trace, cfg);
+        std::printf("%-10s %10llu cycles  %10llu mem requests  "
+                    "%6llu vector loads eliminated\n",
+                    name, (unsigned long long)r.cycles,
+                    (unsigned long long)r.memRequests,
+                    (unsigned long long)r.vectorLoadsEliminated);
+        return r;
+    };
+
+    SimResult base = run(LoadElimMode::None, "baseline");
+    SimResult sle = run(LoadElimMode::Sle, "SLE");
+    SimResult vle = run(LoadElimMode::SleVle, "SLE+VLE");
+    (void)sle;
+
+    std::printf("\nSLE+VLE: %.2fx speedup, %.1f%% less memory "
+                "traffic\n",
+                (double)base.cycles / (double)vle.cycles,
+                100.0 * (1.0 - (double)vle.memRequests /
+                                   (double)base.memRequests));
+    std::printf("(the spill stores remain, as in the paper, to keep "
+                "the memory image exact)\n");
+    return 0;
+}

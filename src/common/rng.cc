@@ -1,0 +1,85 @@
+#include "common/rng.hh"
+
+#include "common/logging.hh"
+
+namespace oova
+{
+
+namespace
+{
+
+uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t s = seed;
+    for (auto &word : state_)
+        word = splitmix64(s);
+}
+
+uint64_t
+Rng::next()
+{
+    uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+uint64_t
+Rng::uniform(uint64_t lo, uint64_t hi)
+{
+    sim_assert(lo <= hi, "uniform(%llu, %llu)",
+               (unsigned long long)lo, (unsigned long long)hi);
+    uint64_t span = hi - lo + 1;
+    if (span == 0) // full 64-bit range
+        return next();
+    // Rejection sampling to avoid modulo bias.
+    uint64_t limit = UINT64_MAX - (UINT64_MAX % span);
+    uint64_t v = next();
+    while (v >= limit)
+        v = next();
+    return lo + (v % span);
+}
+
+double
+Rng::uniformReal()
+{
+    // 53 high bits -> double in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniformReal() < p;
+}
+
+} // namespace oova

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic choices in the workload generator flow from one
+ * seeded Rng instance so that traces, and therefore every simulation
+ * result, are bit-for-bit reproducible across runs and platforms.
+ * The generator is xoshiro256** (Blackman & Vigna), which is small,
+ * fast and has no global state.
+ */
+
+#ifndef OOVA_COMMON_RNG_HH
+#define OOVA_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace oova
+{
+
+/** xoshiro256** pseudo-random generator with convenience helpers. */
+class Rng
+{
+  public:
+    /** Seed via splitmix64 so any 64-bit seed yields a good state. */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform integer in [lo, hi] (inclusive). Requires lo <= hi. */
+    uint64_t uniform(uint64_t lo, uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniformReal();
+
+    /** Bernoulli trial: true with probability p (clamped to [0,1]). */
+    bool chance(double p);
+
+  private:
+    uint64_t state_[4];
+};
+
+} // namespace oova
+
+#endif // OOVA_COMMON_RNG_HH

@@ -1,0 +1,145 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace oova
+{
+
+void
+IntervalRecorder::add(Cycle start, Cycle end)
+{
+    sim_assert(end >= start, "interval end before start");
+    if (end == start)
+        return; // zero-length: nothing was occupied
+    intervals_.emplace_back(start, end);
+    lastEnd_ = std::max(lastEnd_, end);
+}
+
+uint64_t
+IntervalRecorder::busyCycles() const
+{
+    if (intervals_.empty())
+        return 0;
+    auto sorted = intervals_;
+    std::sort(sorted.begin(), sorted.end());
+    uint64_t busy = 0;
+    Cycle cur_start = sorted[0].first;
+    Cycle cur_end = sorted[0].second;
+    for (size_t i = 1; i < sorted.size(); ++i) {
+        if (sorted[i].first > cur_end) {
+            busy += cur_end - cur_start;
+            cur_start = sorted[i].first;
+            cur_end = sorted[i].second;
+        } else {
+            cur_end = std::max(cur_end, sorted[i].second);
+        }
+    }
+    busy += cur_end - cur_start;
+    return busy;
+}
+
+void
+IntervalRecorder::clear()
+{
+    intervals_.clear();
+    lastEnd_ = 0;
+}
+
+std::array<uint64_t, UnitStateBreakdown::kNumStates>
+UnitStateBreakdown::compute(const IntervalRecorder &fu2,
+                            const IntervalRecorder &fu1,
+                            const IntervalRecorder &mem,
+                            Cycle total_cycles)
+{
+    // Sweep-line over (cycle, unit, delta) events. A unit counts as
+    // busy while its overlap depth is positive.
+    struct Event
+    {
+        Cycle cycle;
+        int unit;  // 2 = FU2, 1 = FU1, 0 = MEM (bit position)
+        int delta; // +1 begin, -1 end
+    };
+
+    std::vector<Event> events;
+    auto addUnit = [&](const IntervalRecorder &rec, int unit) {
+        for (const auto &[s, e] : rec.intervals()) {
+            Cycle end = std::min<Cycle>(e, total_cycles);
+            if (s >= end)
+                continue;
+            events.push_back({s, unit, +1});
+            events.push_back({end, unit, -1});
+        }
+    };
+    addUnit(fu2, 2);
+    addUnit(fu1, 1);
+    addUnit(mem, 0);
+
+    std::sort(events.begin(), events.end(),
+              [](const Event &a, const Event &b) {
+                  return a.cycle < b.cycle;
+              });
+
+    std::array<uint64_t, kNumStates> out{};
+    int depth[3] = {0, 0, 0};
+    Cycle prev = 0;
+    size_t i = 0;
+    while (i < events.size()) {
+        Cycle now = events[i].cycle;
+        if (now > prev) {
+            int state = (depth[2] > 0 ? 4 : 0) | (depth[1] > 0 ? 2 : 0) |
+                        (depth[0] > 0 ? 1 : 0);
+            out[state] += now - prev;
+            prev = now;
+        }
+        while (i < events.size() && events[i].cycle == now) {
+            depth[events[i].unit] += events[i].delta;
+            ++i;
+        }
+    }
+    if (total_cycles > prev)
+        out[0] += total_cycles - prev; // trailing all-idle time
+
+    return out;
+}
+
+std::string
+UnitStateBreakdown::stateName(int state)
+{
+    sim_assert(state >= 0 && state < kNumStates, "state %d", state);
+    std::string s = "<";
+    s += (state & 4) ? "FU2," : "   ,";
+    s += (state & 2) ? "FU1," : "   ,";
+    s += (state & 1) ? "MEM" : "   ";
+    s += ">";
+    return s;
+}
+
+Histogram::Histogram(uint64_t bucket_width, size_t num_buckets)
+    : bucketWidth_(bucket_width), buckets_(num_buckets + 1, 0)
+{
+    sim_assert(bucket_width >= 1, "bucket width must be >= 1");
+    sim_assert(num_buckets >= 1, "need at least one bucket");
+}
+
+void
+Histogram::sample(uint64_t value)
+{
+    size_t idx = static_cast<size_t>(value / bucketWidth_);
+    if (idx >= buckets_.size() - 1)
+        idx = buckets_.size() - 1; // overflow bucket
+    ++buckets_[idx];
+    ++count_;
+    sum_ += value;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+}
+
+double
+Histogram::mean() const
+{
+    return count_ ? static_cast<double>(sum_) / count_ : 0.0;
+}
+
+} // namespace oova

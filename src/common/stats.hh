@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Statistics primitives used by the simulators and the experiment
+ * harness: busy-interval recording, the 8-way functional-unit state
+ * breakdown of the paper's figures 3 and 7, and a small histogram.
+ */
+
+#ifndef OOVA_COMMON_STATS_HH
+#define OOVA_COMMON_STATS_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace oova
+{
+
+/**
+ * Records half-open busy intervals [start, end) for one hardware
+ * unit. Intervals may be added out of order and may overlap; queries
+ * merge them first.
+ */
+class IntervalRecorder
+{
+  public:
+    /** Record that the unit was busy during [start, end). */
+    void add(Cycle start, Cycle end);
+
+    /** Total busy cycles with overlapping intervals merged. */
+    uint64_t busyCycles() const;
+
+    /** Latest end cycle over all intervals (0 if none). */
+    Cycle lastEnd() const { return lastEnd_; }
+
+    /** Raw (unmerged) intervals, in insertion order. */
+    const std::vector<std::pair<Cycle, Cycle>> &
+    intervals() const
+    {
+        return intervals_;
+    }
+
+    /** Number of recorded intervals. */
+    size_t count() const { return intervals_.size(); }
+
+    void clear();
+
+  private:
+    std::vector<std::pair<Cycle, Cycle>> intervals_;
+    Cycle lastEnd_ = 0;
+};
+
+/**
+ * Per-cycle machine-state breakdown over the three vector units,
+ * reproducing the 3-tuple states (FU2, FU1, MEM) of the paper's
+ * figures 3 and 7. State index bit assignment: bit 2 = FU2 busy,
+ * bit 1 = FU1 busy, bit 0 = MEM busy; e.g. state 0 is
+ * ( , , ) -- all idle -- and state 7 is (FU2, FU1, MEM).
+ */
+class UnitStateBreakdown
+{
+  public:
+    static constexpr int kNumStates = 8;
+
+    /**
+     * Compute the number of cycles spent in each of the 8 states.
+     *
+     * @param fu2 busy intervals of the general-purpose unit
+     * @param fu1 busy intervals of the restricted unit
+     * @param mem busy intervals of the memory port
+     * @param total_cycles the denominator; cycles past the last
+     *        interval count as all-idle
+     */
+    static std::array<uint64_t, kNumStates>
+    compute(const IntervalRecorder &fu2, const IntervalRecorder &fu1,
+            const IntervalRecorder &mem, Cycle total_cycles);
+
+    /** Human-readable state label, e.g. "<FU2,FU1,MEM>". */
+    static std::string stateName(int state);
+};
+
+/** Linear-bucket histogram with running sum/min/max. */
+class Histogram
+{
+  public:
+    /**
+     * @param bucket_width width of each bucket (>= 1)
+     * @param num_buckets bucket count; values past the last bucket
+     *        land in the overflow bucket
+     */
+    Histogram(uint64_t bucket_width, size_t num_buckets);
+
+    void sample(uint64_t value);
+
+    uint64_t count() const { return count_; }
+    uint64_t sum() const { return sum_; }
+    uint64_t min() const { return count_ ? min_ : 0; }
+    uint64_t max() const { return max_; }
+    double mean() const;
+
+    /** Bucket counts; the final entry is the overflow bucket. */
+    const std::vector<uint64_t> &buckets() const { return buckets_; }
+    uint64_t bucketWidth() const { return bucketWidth_; }
+
+  private:
+    uint64_t bucketWidth_;
+    std::vector<uint64_t> buckets_;
+    uint64_t count_ = 0;
+    uint64_t sum_ = 0;
+    uint64_t min_ = UINT64_MAX;
+    uint64_t max_ = 0;
+};
+
+} // namespace oova
+
+#endif // OOVA_COMMON_STATS_HH

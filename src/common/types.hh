@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every module of the simulator.
+ */
+
+#ifndef OOVA_COMMON_TYPES_HH
+#define OOVA_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace oova
+{
+
+/** Simulated clock cycle. Cycle 0 is the first cycle of execution. */
+using Cycle = uint64_t;
+
+/** Byte address in the simulated (flat, 64-bit) address space. */
+using Addr = uint64_t;
+
+/** Dynamic instruction sequence number (position in the trace). */
+using SeqNum = uint64_t;
+
+/** Sentinel for "no cycle": later than any real cycle. */
+constexpr Cycle kNoCycle = std::numeric_limits<Cycle>::max();
+
+/** Sentinel for an invalid sequence number. */
+constexpr SeqNum kNoSeq = std::numeric_limits<SeqNum>::max();
+
+} // namespace oova
+
+#endif // OOVA_COMMON_TYPES_HH

@@ -1,0 +1,88 @@
+#include "core/btb.hh"
+
+#include "common/logging.hh"
+
+namespace oova
+{
+
+Btb::Btb(unsigned entries) : entries_(entries)
+{
+    sim_assert(entries > 0, "BTB needs at least one entry");
+}
+
+const Btb::Entry &
+Btb::entryFor(Addr pc) const
+{
+    return entries_[(pc >> 2) % entries_.size()];
+}
+
+Btb::Entry &
+Btb::entryFor(Addr pc)
+{
+    return entries_[(pc >> 2) % entries_.size()];
+}
+
+bool
+Btb::predictTaken(Addr pc) const
+{
+    const Entry &e = entryFor(pc);
+    if (!e.valid || e.tag != pc)
+        return false; // cold: predict not taken (fall through)
+    return e.counter >= 2;
+}
+
+Addr
+Btb::predictedTarget(Addr pc) const
+{
+    const Entry &e = entryFor(pc);
+    if (!e.valid || e.tag != pc)
+        return 0;
+    return e.target;
+}
+
+void
+Btb::update(Addr pc, bool taken, Addr target)
+{
+    Entry &e = entryFor(pc);
+    if (!e.valid || e.tag != pc) {
+        e.valid = true;
+        e.tag = pc;
+        e.target = target;
+        e.counter = taken ? 2 : 1;
+        return;
+    }
+    if (taken) {
+        if (e.counter < 3)
+            ++e.counter;
+        e.target = target;
+    } else if (e.counter > 0) {
+        --e.counter;
+    }
+}
+
+ReturnStack::ReturnStack(unsigned depth) : stack_(depth, 0)
+{
+    sim_assert(depth > 0, "return stack needs at least one entry");
+}
+
+void
+ReturnStack::push(Addr ret_addr)
+{
+    stack_[top_] = ret_addr;
+    top_ = (top_ + 1) % stack_.size();
+    if (size_ < stack_.size())
+        ++size_;
+}
+
+Addr
+ReturnStack::pop()
+{
+    if (size_ == 0)
+        return 0;
+    top_ = (top_ + static_cast<unsigned>(stack_.size()) - 1) %
+           stack_.size();
+    --size_;
+    return stack_[top_];
+}
+
+} // namespace oova

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Branch prediction hardware of the OOOVA front end: a 64-entry
+ * branch target buffer with 2-bit saturating counters and an 8-deep
+ * return address stack (paper section 2.2, Machine Parameters).
+ */
+
+#ifndef OOVA_CORE_BTB_HH
+#define OOVA_CORE_BTB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace oova
+{
+
+/** Direct-mapped BTB with 2-bit counters. */
+class Btb
+{
+  public:
+    explicit Btb(unsigned entries = 64);
+
+    /**
+     * Predict a conditional branch at @p pc.
+     * @return predicted taken?
+     */
+    bool predictTaken(Addr pc) const;
+
+    /** Predicted target, or 0 when the entry does not match. */
+    Addr predictedTarget(Addr pc) const;
+
+    /** Train with the resolved outcome. */
+    void update(Addr pc, bool taken, Addr target);
+
+    unsigned numEntries() const
+    {
+        return static_cast<unsigned>(entries_.size());
+    }
+
+  private:
+    struct Entry
+    {
+        Addr tag = 0;
+        Addr target = 0;
+        uint8_t counter = 1; // weakly not-taken
+        bool valid = false;
+    };
+
+    const Entry &entryFor(Addr pc) const;
+    Entry &entryFor(Addr pc);
+
+    std::vector<Entry> entries_;
+};
+
+/** Fixed-depth return address stack. */
+class ReturnStack
+{
+  public:
+    explicit ReturnStack(unsigned depth = 8);
+
+    /** Push a return address (calls). Overwrites when full. */
+    void push(Addr ret_addr);
+
+    /** Pop the predicted return target (returns 0 when empty). */
+    Addr pop();
+
+    bool empty() const { return size_ == 0; }
+    unsigned size() const { return size_; }
+    unsigned depth() const
+    {
+        return static_cast<unsigned>(stack_.size());
+    }
+
+  private:
+    std::vector<Addr> stack_;
+    unsigned top_ = 0;  // next push position
+    unsigned size_ = 0; // valid entries (<= depth)
+};
+
+} // namespace oova
+
+#endif // OOVA_CORE_BTB_HH

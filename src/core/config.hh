@@ -1,0 +1,80 @@
+/**
+ * @file
+ * OOOVA machine configuration (paper section 2.2, Machine
+ * Parameters), with the knobs the evaluation sweeps: physical vector
+ * register count (figure 5), queue depth (OOOVA-16 vs OOOVA-128),
+ * memory latency (figure 8), commit model (figure 9) and dynamic
+ * load elimination mode (figures 11-13).
+ */
+
+#ifndef OOVA_CORE_CONFIG_HH
+#define OOVA_CORE_CONFIG_HH
+
+#include <string>
+
+#include "isa/latency.hh"
+
+namespace oova
+{
+
+/** When may an instruction's ROB entry commit? */
+enum class CommitMode
+{
+    /**
+     * Paper's aggressive scheme: committable once the instruction
+     * begins execution. Not precise.
+     */
+    Early,
+    /**
+     * Precise-trap scheme of section 5: committable only when fully
+     * complete, and stores execute only at the head of the ROB.
+     */
+    Late,
+};
+
+/** Dynamic load elimination mode (section 6). */
+enum class LoadElimMode
+{
+    None,
+    Sle,    ///< scalar load elimination only
+    SleVle, ///< scalar + vector load elimination
+};
+
+/** Full OOOVA configuration. */
+struct OooConfig
+{
+    LatencyTable lat = LatencyTable::oooDefaults();
+
+    unsigned numPhysVRegs = 16; ///< swept 9..64 in figure 5
+    unsigned numPhysARegs = 64;
+    unsigned numPhysSRegs = 64;
+    unsigned numPhysMRegs = 8;
+
+    unsigned queueSize = 16; ///< all four instruction queues
+    unsigned robSize = 64;
+    unsigned commitWidth = 4;
+    unsigned fetchBufferSize = 8;
+    unsigned btbEntries = 64;
+    unsigned rasDepth = 8;
+
+    CommitMode commit = CommitMode::Early;
+    LoadElimMode loadElim = LoadElimMode::None;
+
+    /**
+     * Chain memory loads into functional units. The OOOVA inherits
+     * the C3400 datapath, which does not support load chaining
+     * (section 2.1); out-of-order issue is what hides the latency
+     * instead. On for the ablation study bench/abl_chaining.
+     */
+    bool chainLoadsToFus = false;
+
+    /** Cycles charged for trap entry on a faulting instruction. */
+    unsigned trapPenalty = 50;
+
+    /** Short label, e.g. "OOOVA-16/16r/early". */
+    std::string name() const;
+};
+
+} // namespace oova
+
+#endif // OOVA_CORE_CONFIG_HH

@@ -1,0 +1,31 @@
+#include "core/ideal.hh"
+
+namespace oova
+{
+
+IdealBreakdown
+idealBreakdown(const Trace &trace)
+{
+    IdealBreakdown b;
+    for (const DynInst &inst : trace) {
+        if (inst.isMem()) {
+            b.memCycles += inst.memElems();
+        } else if (inst.isVectorArith()) {
+            if (inst.traits().fu2Only)
+                b.fu2Cycles += inst.vl;
+            else if (b.fu1Cycles <= b.fu2Cycles)
+                b.fu1Cycles += inst.vl;
+            else
+                b.fu2Cycles += inst.vl;
+        }
+    }
+    return b;
+}
+
+Cycle
+idealCycles(const Trace &trace)
+{
+    return idealBreakdown(trace).bound();
+}
+
+} // namespace oova

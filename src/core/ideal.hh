@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The IDEAL performance bound of figure 5: all data and memory
+ * dependences removed, performance limited only by the most
+ * saturated vector resource (FU1, FU2 or the memory port) over the
+ * whole execution.
+ */
+
+#ifndef OOVA_CORE_IDEAL_HH
+#define OOVA_CORE_IDEAL_HH
+
+#include "common/types.hh"
+#include "trace/trace.hh"
+
+namespace oova
+{
+
+/** Per-unit work totals underlying the bound. */
+struct IdealBreakdown
+{
+    uint64_t fu1Cycles = 0; ///< element cycles assigned to FU1
+    uint64_t fu2Cycles = 0; ///< element cycles assigned to FU2
+    uint64_t memCycles = 0; ///< element cycles on the address bus
+
+    Cycle
+    bound() const
+    {
+        uint64_t m = fu1Cycles;
+        if (fu2Cycles > m)
+            m = fu2Cycles;
+        if (memCycles > m)
+            m = memCycles;
+        return m;
+    }
+};
+
+/**
+ * Compute the IDEAL cycle bound for a trace. Work that only FU2 can
+ * execute (multiply/divide/sqrt) is pinned there; the remaining
+ * vector arithmetic is balanced across FU1/FU2 greedily; every
+ * memory element (scalar and vector) costs one address-bus cycle.
+ */
+IdealBreakdown idealBreakdown(const Trace &trace);
+
+/** Shorthand for idealBreakdown(trace).bound(). */
+Cycle idealCycles(const Trace &trace);
+
+} // namespace oova
+
+#endif // OOVA_CORE_IDEAL_HH

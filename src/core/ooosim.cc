@@ -1,0 +1,1060 @@
+#include "core/ooosim.hh"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+#include <vector>
+
+#include "common/logging.hh"
+#include "core/btb.hh"
+#include "core/renamer.hh"
+#include "mem/membus.hh"
+
+namespace oova
+{
+
+std::string
+OooConfig::name() const
+{
+    std::string n = "OOOVA-" + std::to_string(queueSize) + "/" +
+                    std::to_string(numPhysVRegs) + "r";
+    n += commit == CommitMode::Early ? "/early" : "/late";
+    if (loadElim == LoadElimMode::Sle)
+        n += "/sle";
+    else if (loadElim == LoadElimMode::SleVle)
+        n += "/sle+vle";
+    return n;
+}
+
+namespace
+{
+
+/** One in-flight instruction; doubles as the ROB entry. */
+struct RobEntry
+{
+    const DynInst *di = nullptr;
+    SeqNum seq = 0;
+
+    RegClass dstCls = RegClass::None;
+    int physDst = -1;
+    int oldPhys = -1;
+    std::array<int, kMaxSrcRegs> physSrc{-1, -1, -1};
+
+    bool started = false;          ///< began execution (early commit)
+    Cycle completeAt = kNoCycle;
+    Cycle depCycle = kNoCycle;     ///< cycle it left the Dep stage
+
+    bool eliminated = false;       ///< satisfied by load elimination
+    int copySrcPhys = -1;          ///< SLE: physical copy source
+    bool holdsCopyClaim = false;   ///< reference held on copySrcPhys
+    bool retired = false;          ///< left the ROB (committed)
+
+    bool memIssued = false;
+    Cycle memDoneAt = kNoCycle;    ///< end of its address-bus phase
+    Addr rangeLo = 0, rangeHi = 0;
+
+    bool faultArmed = false;       ///< will page-fault at issue
+    bool faulted = false;          ///< fault pending trap at head
+    bool wasMispredicted = false;  ///< fetch stalled on this branch
+};
+
+class OooMachine
+{
+  public:
+    OooMachine(const Trace &trace, const OooConfig &cfg,
+               const FaultInjection &fault)
+        : trace_(trace), cfg_(cfg), lat_(cfg.lat), fault_(fault),
+          renamer_(RenamerConfig{cfg.numPhysARegs, cfg.numPhysSRegs,
+                                 cfg.numPhysVRegs, cfg.numPhysMRegs}),
+          btb_(cfg.btbEntries), ras_(cfg.rasDepth)
+    {
+        pipeStage_.fill(nullptr);
+    }
+
+    SimResult run();
+
+  private:
+    // ---- per-cycle steps, in execution order ----
+    unsigned commitStep();
+    void resolveEliminated();
+    void cleanupWaitSet();
+    bool memIssueStep();
+    bool issueQueue(std::vector<RobEntry *> &queue, bool vector_queue);
+    bool pipeAdvance();
+    bool dispatchStep();
+    bool fetchStep();
+
+    // ---- helpers ----
+    bool usesVectorRegs(const DynInst &di) const;
+    bool goesToMemPipe(const DynInst &di) const;
+    int routeQueue(const DynInst &di) const; // 0=A 1=S 2=V 3=pipe
+    bool scalarSrcsReady(const RobEntry &e) const;
+    bool vectorSrcReady(int phys) const;
+    bool entryOperandsReady(const RobEntry &e) const;
+    void occupyVectorReadPorts(const RobEntry &e, Cycle until);
+    bool memConflicts(const RobEntry &e) const;
+    bool depStage(RobEntry *e);
+    void applyStoreTags(RobEntry *e);
+    MemTag tagFor(const DynInst &di) const;
+    void executeVector(RobEntry *e);
+    void executeScalar(RobEntry *e);
+    void takeTrap();
+    void finish(Cycle c) { endCycle_ = std::max(endCycle_, c); }
+    Cycle nextEventAfter() const;
+
+    PhysReg &
+    vregOf(int phys)
+    {
+        return renamer_.file(RegClass::V).reg(phys);
+    }
+
+    const Trace &trace_;
+    const OooConfig &cfg_;
+    const LatencyTable &lat_;
+    FaultInjection fault_;
+
+    Renamer renamer_;
+    Btb btb_;
+    ReturnStack ras_;
+    AddressBus bus_;
+
+    /** Stable storage for in-flight records; never shrinks, so
+     *  pointers in the wait set survive early commit. */
+    std::deque<RobEntry> slab_;
+
+    std::deque<RobEntry *> rob_;
+    std::vector<RobEntry *> aQueue_, sQueue_, vQueue_;
+    std::deque<RobEntry *> pipeFifo_;
+    std::array<RobEntry *, 3> pipeStage_; // 0=Issue/Rf 1=Range 2=Dep
+    std::vector<RobEntry *> waitSet_;     // disambiguated mem ops
+    std::vector<RobEntry *> elimWait_;    // eliminated, unresolved
+    unsigned memSlotsUsed_ = 0;
+
+    std::deque<std::pair<const DynInst *, SeqNum>> fetchBuffer_;
+    size_t fetchIndex_ = 0;
+    Cycle fetchStalledUntil_ = 0;  ///< kNoCycle = until resolve
+    SeqNum redirectSeq_ = kNoSeq;  ///< branch fetch is stalled on
+    std::unordered_set<SeqNum> mispredictedSeqs_;
+
+    Cycle fu1Free_ = 0, fu2Free_ = 0;
+    IntervalRecorder fu1Rec_, fu2Rec_;
+
+    Cycle now_ = 0;
+    Cycle endCycle_ = 0;
+    uint64_t committed_ = 0;
+
+    // stats
+    uint64_t mispredicts_ = 0;
+    uint64_t vElims_ = 0, sElims_ = 0;
+    uint64_t renameStalls_ = 0, robStalls_ = 0, queueStalls_ = 0;
+    uint64_t traps_ = 0;
+};
+
+bool
+OooMachine::usesVectorRegs(const DynInst &di) const
+{
+    if (di.dst.cls == RegClass::V)
+        return true;
+    for (unsigned i = 0; i < di.numSrc; ++i)
+        if (di.src[i].cls == RegClass::V)
+            return true;
+    return false;
+}
+
+bool
+OooMachine::goesToMemPipe(const DynInst &di) const
+{
+    if (di.isMem())
+        return true;
+    // SLE+VLE: single vector-rename point in the memory pipeline
+    // (paper figure 10), so every vector-register instruction
+    // traverses it.
+    return cfg_.loadElim == LoadElimMode::SleVle && usesVectorRegs(di);
+}
+
+int
+OooMachine::routeQueue(const DynInst &di) const
+{
+    if (di.isMem())
+        return 3;
+    if (di.isVector())
+        return 2;
+    if (di.isBranch() || di.dst.cls == RegClass::A)
+        return 0;
+    for (unsigned i = 0; i < di.numSrc; ++i)
+        if (di.src[i].cls == RegClass::A)
+            return 0;
+    return 1;
+}
+
+bool
+OooMachine::scalarSrcsReady(const RobEntry &e) const
+{
+    for (unsigned i = 0; i < e.di->numSrc; ++i) {
+        const RegId &r = e.di->src[i];
+        if (!r.valid() || r.cls == RegClass::V)
+            continue;
+        const PhysReg &p = renamer_.file(r.cls).reg(e.physSrc[i]);
+        if (p.fullReadyAt == kNoCycle || p.fullReadyAt > now_)
+            return false;
+    }
+    return true;
+}
+
+bool
+OooMachine::vectorSrcReady(int phys) const
+{
+    const PhysReg &p = renamer_.file(RegClass::V).reg(phys);
+    // The register's single dedicated read port must be free.
+    if (p.readPortFreeAt > now_)
+        return false;
+    if (p.writerIsLoad && !cfg_.chainLoadsToFus)
+        return p.fullReadyAt != kNoCycle && p.fullReadyAt <= now_;
+    return p.chainReadyAt != kNoCycle && p.chainReadyAt <= now_;
+}
+
+bool
+OooMachine::entryOperandsReady(const RobEntry &e) const
+{
+    if (!scalarSrcsReady(e))
+        return false;
+    for (unsigned i = 0; i < e.di->numSrc; ++i) {
+        const RegId &r = e.di->src[i];
+        if (r.cls != RegClass::V)
+            continue;
+        const PhysReg &p =
+            renamer_.file(RegClass::V).reg(e.physSrc[i]);
+        // Index vectors of gather/scatter must be fully written (the
+        // memory unit needs all of them to form addresses); store
+        // data and arithmetic sources chain element by element.
+        bool is_index = e.di->isIndexedMem() &&
+                        !(e.di->op == Opcode::VScatter && i == 0);
+        if (is_index) {
+            if (p.fullReadyAt == kNoCycle || p.fullReadyAt > now_ ||
+                p.readPortFreeAt > now_) {
+                return false;
+            }
+        } else if (!vectorSrcReady(e.physSrc[i])) {
+            return false;
+        }
+    }
+    return true;
+}
+
+void
+OooMachine::occupyVectorReadPorts(const RobEntry &e, Cycle until)
+{
+    for (unsigned i = 0; i < e.di->numSrc; ++i) {
+        if (e.di->src[i].cls != RegClass::V)
+            continue;
+        PhysReg &p = renamer_.file(RegClass::V).reg(e.physSrc[i]);
+        p.readPortFreeAt = std::max(p.readPortFreeAt, until);
+    }
+}
+
+// ---------------------------------------------------------------
+// Commit
+// ---------------------------------------------------------------
+
+unsigned
+OooMachine::commitStep()
+{
+    unsigned done = 0;
+    while (done < cfg_.commitWidth && !rob_.empty()) {
+        RobEntry &e = *rob_.front();
+        if (e.faulted) {
+            takeTrap();
+            return done + 1; // the trap consumed this cycle
+        }
+        bool ok;
+        if (cfg_.commit == CommitMode::Early)
+            ok = e.started;
+        else
+            ok = e.completeAt != kNoCycle && e.completeAt <= now_;
+        if (!ok)
+            break;
+        if (e.oldPhys >= 0)
+            renamer_.releaseOld(e.dstCls, e.oldPhys);
+        // Note: an early-committed eliminated load may still await
+        // its source value. It stays on elimWait_ (its storage is in
+        // the slab, which outlives retirement) so its destination
+        // register's ready times are still established, and it keeps
+        // its copy-source claim until then.
+        e.retired = true;
+        finish(now_ + 1);
+        if (e.completeAt != kNoCycle)
+            finish(e.completeAt);
+        rob_.pop_front();
+        ++committed_;
+        ++done;
+    }
+    return done;
+}
+
+// ---------------------------------------------------------------
+// Dynamic load elimination bookkeeping
+// ---------------------------------------------------------------
+
+MemTag
+OooMachine::tagFor(const DynInst &di) const
+{
+    MemTag t;
+    auto [lo, hi] = di.memRange();
+    t.valid = true;
+    t.start = lo;
+    t.end = hi;
+    t.vl = di.isVector() ? di.vl : 1;
+    t.stride = di.isVector() ? di.strideBytes : 0;
+    t.esz = di.elemSize;
+    return t;
+}
+
+void
+OooMachine::applyStoreTags(RobEntry *e)
+{
+    const DynInst &di = *e->di;
+    MemTag tag = tagFor(di);
+    int data_phys = e->physSrc[0]; // data register is src[0]
+    RegClass data_cls = di.src[0].cls;
+
+    // Tag the stored register: its contents now mirror this range.
+    // Indexed stores (scatter) have no single stride; they only
+    // invalidate.
+    bool taggable = !di.isIndexedMem();
+    if (taggable)
+        renamer_.file(data_cls).reg(data_phys).tag = tag;
+
+    // Conservatively invalidate every overlapping tag, in every
+    // class: scalar stores must be checked against vector tags and
+    // vice versa (section 6.1).
+    for (unsigned c = 0; c < kNumRegClasses; ++c) {
+        RegClass cls = static_cast<RegClass>(c);
+        int except = (taggable && cls == data_cls) ? data_phys : -1;
+        renamer_.file(cls).invalidateOverlapping(tag.start, tag.end,
+                                                 except);
+    }
+}
+
+// ---------------------------------------------------------------
+// Memory pipeline: Dep stage
+// ---------------------------------------------------------------
+
+bool
+OooMachine::depStage(RobEntry *e)
+{
+    const DynInst &di = *e->di;
+    bool vle = cfg_.loadElim == LoadElimMode::SleVle;
+    bool sle = cfg_.loadElim != LoadElimMode::None;
+
+    // In SLE+VLE, vector sources are renamed here, in order.
+    if (vle) {
+        for (unsigned i = 0; i < di.numSrc; ++i)
+            if (di.src[i].cls == RegClass::V)
+                e->physSrc[i] = renamer_.mapOf(di.src[i]);
+    }
+
+    if (di.isMem()) {
+        auto [lo, hi] = di.memRange();
+        e->rangeLo = lo;
+        e->rangeHi = hi;
+    }
+
+    // ---- vector load elimination ----
+    if (vle && di.op == Opcode::VLoad && !e->faultArmed) {
+        MemTag tag = tagFor(di);
+        int match = renamer_.file(RegClass::V).findExactTag(tag);
+        if (match >= 0) {
+            auto ren = renamer_.redirectDst(di.dst, match);
+            e->physDst = ren.physDst;
+            e->oldPhys = ren.oldPhys;
+            e->dstCls = RegClass::V;
+            e->eliminated = true;
+            e->started = true;
+            e->depCycle = now_;
+            ++vElims_;
+            // Completion resolves once the matched register's value
+            // is fully written.
+            elimWait_.push_back(e);
+            sim_assert(memSlotsUsed_ > 0, "mem slot underflow");
+            --memSlotsUsed_;
+            return true;
+        }
+    }
+
+    // ---- vector destination renaming (SLE+VLE) ----
+    if (vle && di.dst.cls == RegClass::V) {
+        if (!renamer_.canRename(RegClass::V)) {
+            ++renameStalls_;
+            return false; // stall the Dep stage this cycle
+        }
+        auto ren = renamer_.renameDst(di.dst);
+        e->physDst = ren.physDst;
+        e->oldPhys = ren.oldPhys;
+        e->dstCls = RegClass::V;
+    }
+
+    // ---- scalar load elimination ----
+    if (sle && di.op == Opcode::SLoad && !e->faultArmed) {
+        MemTag tag = tagFor(di);
+        int match = renamer_.file(di.dst.cls).findExactTag(tag);
+        if (match >= 0 && match != e->physDst) {
+            e->eliminated = true;
+            e->started = true;
+            e->copySrcPhys = match;
+            e->depCycle = now_;
+            ++sElims_;
+            // Hold the source register so it cannot be reallocated
+            // before the copy's value is latched.
+            PhysRegFile &f = renamer_.file(di.dst.cls);
+            if (f.reg(match).inFreeList)
+                f.reviveFromFreeList(match);
+            else
+                f.addRef(match);
+            e->holdsCopyClaim = true;
+            f.reg(e->physDst).tag = tag;
+            elimWait_.push_back(e);
+            sim_assert(memSlotsUsed_ > 0, "mem slot underflow");
+            --memSlotsUsed_;
+            return true;
+        }
+    }
+
+    // ---- tag maintenance ----
+    if (sle) {
+        if (di.isLoad() && !di.isIndexedMem()) {
+            if (di.isVector()) {
+                // Vector tags only exist under VLE.
+                if (vle)
+                    vregOf(e->physDst).tag = tagFor(di);
+            } else {
+                renamer_.file(di.dst.cls).reg(e->physDst).tag =
+                    tagFor(di);
+            }
+        } else if (di.isStore()) {
+            applyStoreTags(e);
+        }
+    }
+
+    if (di.isMem()) {
+        e->depCycle = now_;
+        waitSet_.push_back(e);
+        return true;
+    }
+
+    // SLE+VLE vector arithmetic: move on to the V queue.
+    if (vQueue_.size() >= cfg_.queueSize) {
+        ++queueStalls_;
+        return false;
+    }
+    e->depCycle = now_;
+    vQueue_.push_back(e);
+    sim_assert(memSlotsUsed_ > 0, "mem slot underflow");
+    --memSlotsUsed_;
+    return true;
+}
+
+bool
+OooMachine::pipeAdvance()
+{
+    bool moved = false;
+    if (pipeStage_[2]) {
+        if (depStage(pipeStage_[2])) {
+            pipeStage_[2] = nullptr;
+            moved = true;
+        }
+    }
+    if (!pipeStage_[2] && pipeStage_[1]) {
+        pipeStage_[2] = pipeStage_[1]; // Range -> Dep
+        pipeStage_[1] = nullptr;
+        moved = true;
+    }
+    if (!pipeStage_[1] && pipeStage_[0]) {
+        pipeStage_[1] = pipeStage_[0]; // Issue/Rf -> Range
+        pipeStage_[0] = nullptr;
+        moved = true;
+    }
+    if (!pipeStage_[0] && !pipeFifo_.empty()) {
+        pipeStage_[0] = pipeFifo_.front();
+        pipeFifo_.pop_front();
+        moved = true;
+    }
+    return moved;
+}
+
+// ---------------------------------------------------------------
+// Memory issue
+// ---------------------------------------------------------------
+
+bool
+OooMachine::memConflicts(const RobEntry &e) const
+{
+    for (const RobEntry *o : waitSet_) {
+        if (o->seq >= e.seq)
+            break; // waitSet_ is ordered by age
+        if (!(o->di->isStore() || e.di->isStore()))
+            continue; // load/load never conflicts
+        if (!(o->rangeLo < e.rangeHi && e.rangeLo < o->rangeHi))
+            continue;
+        // Conflicting older access: wait until its bus phase ends.
+        if (!o->memIssued || o->memDoneAt > now_)
+            return true;
+    }
+    return false;
+}
+
+void
+OooMachine::cleanupWaitSet()
+{
+    std::erase_if(waitSet_, [this](RobEntry *e) {
+        return e->memIssued && e->memDoneAt <= now_;
+    });
+}
+
+bool
+OooMachine::memIssueStep()
+{
+    if (bus_.freeAt() > now_)
+        return false;
+    for (RobEntry *e : waitSet_) {
+        if (e->memIssued || e->faulted)
+            continue;
+        const DynInst &di = *e->di;
+        // Late commit: stores update memory only at the ROB head.
+        if (cfg_.commit == CommitMode::Late && di.isStore() &&
+            (rob_.empty() || rob_.front()->seq != e->seq)) {
+            continue;
+        }
+        if (!entryOperandsReady(*e))
+            continue;
+        if (memConflicts(*e))
+            continue;
+
+        if (e->faultArmed) {
+            // Page fault detected at translation; the trap is taken
+            // when the instruction reaches the ROB head.
+            e->faultArmed = false;
+            e->faulted = true;
+            return true;
+        }
+
+        unsigned elems = di.memElems();
+        Cycle s = bus_.reserve(now_, elems);
+        e->memIssued = true;
+        e->started = true;
+        e->memDoneAt = s + elems;
+        occupyVectorReadPorts(*e, s + elems);
+        sim_assert(memSlotsUsed_ > 0, "mem slot underflow");
+        --memSlotsUsed_;
+
+        if (di.isLoad()) {
+            PhysReg &d = renamer_.file(di.dst.cls).reg(e->physDst);
+            if (di.isVector()) {
+                Cycle wstart =
+                    s + lat_.memLatency + lat_.writeXbarVector;
+                d.chainReadyAt = wstart + 1;
+                d.fullReadyAt = wstart + di.vl;
+                d.writerIsLoad = true;
+                e->completeAt = d.fullReadyAt;
+            } else {
+                Cycle ready =
+                    s + lat_.memLatency + lat_.writeXbarScalar;
+                d.chainReadyAt = ready;
+                d.fullReadyAt = ready;
+                e->completeAt = ready;
+            }
+        } else {
+            // Stores have no observed latency (section 2.2): once
+            // issued, the address/data stream drains in the
+            // background, so the instruction is complete (and, under
+            // late commit, may retire) the cycle after issue. The
+            // bus phase still orders conflicting accesses via
+            // memDoneAt.
+            e->completeAt = s + 1;
+        }
+        finish(e->completeAt);
+        finish(e->memDoneAt);
+        return true;
+    }
+    return false;
+}
+
+// ---------------------------------------------------------------
+// Queue issue
+// ---------------------------------------------------------------
+
+void
+OooMachine::executeVector(RobEntry *e)
+{
+    const DynInst &di = *e->di;
+    int fu;
+    if (di.traits().fu2Only)
+        fu = 2;
+    else
+        fu = fu1Free_ <= fu2Free_ ? 1 : 2;
+
+    Cycle busy_until = now_ + lat_.vectorStartup + di.vl;
+    if (fu == 1) {
+        fu1Free_ = busy_until;
+        fu1Rec_.add(now_, busy_until);
+    } else {
+        fu2Free_ = busy_until;
+        fu2Rec_.add(now_, busy_until);
+    }
+    occupyVectorReadPorts(*e, busy_until);
+
+    e->started = true;
+    if (di.dst.cls == RegClass::V || di.dst.cls == RegClass::M) {
+        PhysReg &d = renamer_.file(di.dst.cls).reg(e->physDst);
+        Cycle wstart = now_ + lat_.vectorStartup + lat_.readXbar +
+                       lat_.opLatency(di.op) + lat_.writeXbarVector;
+        d.chainReadyAt = wstart + 1;
+        d.fullReadyAt = wstart + di.vl;
+        d.writerIsLoad = false;
+        e->completeAt = d.fullReadyAt;
+    } else if (di.dst.valid()) {
+        // VReduce: scalar result after consuming all elements.
+        PhysReg &d = renamer_.file(di.dst.cls).reg(e->physDst);
+        Cycle ready = now_ + lat_.vectorStartup + lat_.readXbar +
+                      lat_.opLatency(di.op) + di.vl +
+                      lat_.writeXbarScalar;
+        d.chainReadyAt = ready;
+        d.fullReadyAt = ready;
+        e->completeAt = ready;
+    } else {
+        e->completeAt = busy_until;
+    }
+    finish(e->completeAt);
+}
+
+void
+OooMachine::executeScalar(RobEntry *e)
+{
+    const DynInst &di = *e->di;
+    e->started = true;
+    Cycle done = now_ + lat_.opLatency(di.op);
+    if (di.isBranch()) {
+        e->completeAt = done;
+        if (di.op == Opcode::Branch)
+            btb_.update(di.pc, di.taken, di.target);
+        if (e->wasMispredicted && e->seq == redirectSeq_) {
+            fetchStalledUntil_ = done + lat_.branchMispredict;
+            redirectSeq_ = kNoSeq;
+        }
+    } else if (di.dst.valid()) {
+        PhysReg &d = renamer_.file(di.dst.cls).reg(e->physDst);
+        Cycle ready = done + lat_.writeXbarScalar;
+        d.chainReadyAt = ready;
+        d.fullReadyAt = ready;
+        e->completeAt = ready;
+    } else {
+        e->completeAt = done;
+    }
+    finish(e->completeAt);
+}
+
+bool
+OooMachine::issueQueue(std::vector<RobEntry *> &queue,
+                       bool vector_queue)
+{
+    for (size_t i = 0; i < queue.size(); ++i) {
+        RobEntry *e = queue[i];
+        if (vector_queue) {
+            bool fu_ok = e->di->traits().fu2Only
+                             ? fu2Free_ <= now_
+                             : (fu1Free_ <= now_ || fu2Free_ <= now_);
+            if (!fu_ok || !entryOperandsReady(*e))
+                continue;
+            executeVector(e);
+        } else {
+            if (!scalarSrcsReady(*e))
+                continue;
+            executeScalar(e);
+        }
+        queue.erase(queue.begin() + static_cast<long>(i));
+        return true;
+    }
+    return false;
+}
+
+// ---------------------------------------------------------------
+// Eliminated-load completion
+// ---------------------------------------------------------------
+
+void
+OooMachine::resolveEliminated()
+{
+    std::erase_if(elimWait_, [this](RobEntry *e) {
+        if (e->copySrcPhys >= 0) {
+            // SLE: a register-to-register copy of the source value.
+            const PhysReg &src =
+                renamer_.file(e->di->dst.cls).reg(e->copySrcPhys);
+            if (src.fullReadyAt == kNoCycle)
+                return false;
+            Cycle done = std::max(e->depCycle, src.fullReadyAt) + 1;
+            PhysReg &d =
+                renamer_.file(e->di->dst.cls).reg(e->physDst);
+            d.chainReadyAt = done;
+            d.fullReadyAt = done;
+            e->completeAt = done;
+            if (e->holdsCopyClaim) {
+                renamer_.file(e->di->dst.cls).release(e->copySrcPhys);
+                e->holdsCopyClaim = false;
+            }
+            finish(done);
+            return true;
+        }
+        // VLE: the load became a mapping onto its match; it is
+        // architecturally complete once the value is fully written.
+        const PhysReg &p = vregOf(e->physDst);
+        if (p.fullReadyAt == kNoCycle)
+            return false;
+        e->completeAt = std::max(e->depCycle + 1, p.fullReadyAt);
+        finish(e->completeAt);
+        return true;
+    });
+}
+
+// ---------------------------------------------------------------
+// Dispatch (decode/rename), 1 per cycle
+// ---------------------------------------------------------------
+
+bool
+OooMachine::dispatchStep()
+{
+    if (fetchBuffer_.empty())
+        return false;
+    const DynInst &di = *fetchBuffer_.front().first;
+    SeqNum seq = fetchBuffer_.front().second;
+
+    if (rob_.size() >= cfg_.robSize) {
+        ++robStalls_;
+        return false;
+    }
+
+    bool vle = cfg_.loadElim == LoadElimMode::SleVle;
+    bool to_pipe = goesToMemPipe(di);
+    int q = routeQueue(di);
+
+    // Structural space in the target queue.
+    if (to_pipe) {
+        if (memSlotsUsed_ >= cfg_.queueSize) {
+            ++queueStalls_;
+            return false;
+        }
+    } else if (q == 0 && aQueue_.size() >= cfg_.queueSize) {
+        ++queueStalls_;
+        return false;
+    } else if (q == 1 && sQueue_.size() >= cfg_.queueSize) {
+        ++queueStalls_;
+        return false;
+    } else if (q == 2 && vQueue_.size() >= cfg_.queueSize) {
+        ++queueStalls_;
+        return false;
+    }
+
+    // Destination renaming. V destinations are renamed here except
+    // in SLE+VLE mode, where the Dep stage does it (figure 10).
+    bool rename_dst_here =
+        di.dst.valid() && (di.dst.cls != RegClass::V || !vle);
+    if (rename_dst_here && !renamer_.canRename(di.dst.cls)) {
+        ++renameStalls_;
+        return false;
+    }
+
+    slab_.emplace_back();
+    RobEntry *e = &slab_.back();
+    e->di = &di;
+    e->seq = seq;
+    if (fault_.faultSeq != kNoSeq && seq == fault_.faultSeq)
+        e->faultArmed = true;
+
+    for (unsigned i = 0; i < di.numSrc; ++i) {
+        const RegId &r = di.src[i];
+        if (!r.valid())
+            continue;
+        if (r.cls == RegClass::V && vle)
+            continue; // renamed at the Dep stage
+        e->physSrc[i] = renamer_.mapOf(r);
+    }
+    if (rename_dst_here) {
+        auto ren = renamer_.renameDst(di.dst);
+        e->physDst = ren.physDst;
+        e->oldPhys = ren.oldPhys;
+        e->dstCls = di.dst.cls;
+    }
+    if (di.isBranch() && mispredictedSeqs_.count(seq)) {
+        e->wasMispredicted = true;
+        mispredictedSeqs_.erase(seq);
+    }
+
+    rob_.push_back(e);
+    if (to_pipe) {
+        ++memSlotsUsed_;
+        pipeFifo_.push_back(e);
+    } else if (q == 0) {
+        aQueue_.push_back(e);
+    } else if (q == 1) {
+        sQueue_.push_back(e);
+    } else {
+        vQueue_.push_back(e);
+    }
+
+    fetchBuffer_.pop_front();
+    return true;
+}
+
+// ---------------------------------------------------------------
+// Fetch, 1 per cycle, with BTB + return-stack prediction
+// ---------------------------------------------------------------
+
+bool
+OooMachine::fetchStep()
+{
+    if (fetchStalledUntil_ == kNoCycle || fetchStalledUntil_ > now_)
+        return false;
+    if (fetchIndex_ >= trace_.size())
+        return false;
+    if (fetchBuffer_.size() >= cfg_.fetchBufferSize)
+        return false;
+
+    const DynInst &di = trace_[fetchIndex_];
+    SeqNum seq = fetchIndex_;
+    fetchBuffer_.emplace_back(&di, seq);
+    ++fetchIndex_;
+
+    if (!di.isBranch())
+        return true;
+
+    bool mispredict = false;
+    if (isCallOp(di.op)) {
+        ras_.push(di.pc + 4);
+        // Direct call: target known at decode; no misprediction.
+    } else if (isRetOp(di.op)) {
+        Addr pred = ras_.pop();
+        mispredict = pred != di.target;
+    } else {
+        bool pred_taken = btb_.predictTaken(di.pc);
+        if (pred_taken != di.taken)
+            mispredict = true;
+        else if (di.taken && btb_.predictedTarget(di.pc) != di.target)
+            mispredict = true;
+    }
+    if (mispredict) {
+        ++mispredicts_;
+        mispredictedSeqs_.insert(seq);
+        redirectSeq_ = seq;
+        fetchStalledUntil_ = kNoCycle; // until the branch resolves
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------
+// Precise trap (section 5): squash and restore
+// ---------------------------------------------------------------
+
+void
+OooMachine::takeTrap()
+{
+    sim_assert(cfg_.commit == CommitMode::Late,
+               "precise traps require the late-commit model");
+    SeqNum fault_seq = rob_.front()->seq;
+
+    // Already-retired eliminated loads whose value timing has not
+    // resolved yet keep architected state (they committed); settle
+    // their destination registers at the trap point and drop their
+    // claims before the squash.
+    for (RobEntry *e : elimWait_) {
+        if (!e->retired)
+            continue;
+        if (e->physDst >= 0 && e->copySrcPhys >= 0) {
+            PhysReg &d = renamer_.file(e->di->dst.cls).reg(e->physDst);
+            d.chainReadyAt = now_;
+            d.fullReadyAt = now_;
+        }
+        if (e->holdsCopyClaim) {
+            renamer_.file(e->di->dst.cls).release(e->copySrcPhys);
+            e->holdsCopyClaim = false;
+        }
+    }
+
+    // Walk the ROB youngest-first, undoing every rename and claim.
+    for (auto it = rob_.rbegin(); it != rob_.rend(); ++it) {
+        RobEntry *e = *it;
+        if (e->holdsCopyClaim) {
+            renamer_.file(e->di->dst.cls).release(e->copySrcPhys);
+            e->holdsCopyClaim = false;
+        }
+        if (e->physDst >= 0)
+            renamer_.rollback(e->di->dst, e->physDst, e->oldPhys);
+    }
+
+    rob_.clear();
+    aQueue_.clear();
+    sQueue_.clear();
+    vQueue_.clear();
+    pipeFifo_.clear();
+    pipeStage_.fill(nullptr);
+    waitSet_.clear();
+    elimWait_.clear();
+    memSlotsUsed_ = 0;
+    fetchBuffer_.clear();
+    mispredictedSeqs_.clear();
+    redirectSeq_ = kNoSeq;
+
+    // Tags may describe squashed state; drop them conservatively.
+    for (unsigned c = 0; c < kNumRegClasses; ++c)
+        renamer_.file(static_cast<RegClass>(c)).invalidateAllTags();
+
+    // Re-execute from the faulting instruction; the page is now
+    // resident so the fault does not recur.
+    fetchIndex_ = fault_seq;
+    fault_.faultSeq = kNoSeq;
+    fetchStalledUntil_ = now_ + cfg_.trapPenalty;
+    ++traps_;
+}
+
+// ---------------------------------------------------------------
+// Main loop
+// ---------------------------------------------------------------
+
+Cycle
+OooMachine::nextEventAfter() const
+{
+    Cycle best = kNoCycle;
+    auto consider = [&](Cycle c) {
+        if (c != kNoCycle && c > now_ && c < best)
+            best = c;
+    };
+    consider(fu1Free_);
+    consider(fu2Free_);
+    consider(bus_.freeAt());
+    consider(fetchStalledUntil_);
+    for (const RobEntry *e : rob_) {
+        consider(e->completeAt);
+        consider(e->memDoneAt);
+        if (e->physDst >= 0 && e->dstCls != RegClass::None) {
+            const PhysReg &p =
+                renamer_.file(e->dstCls).reg(e->physDst);
+            consider(p.chainReadyAt);
+            consider(p.fullReadyAt);
+        }
+        // Sources may have been written by producers that already
+        // committed (early commit), so their ready times are only
+        // visible through the consumer.
+        for (unsigned i = 0; i < e->di->numSrc; ++i) {
+            const RegId &r = e->di->src[i];
+            if (!r.valid() || e->physSrc[i] < 0)
+                continue;
+            const PhysReg &p = renamer_.file(r.cls).reg(e->physSrc[i]);
+            consider(p.chainReadyAt);
+            consider(p.fullReadyAt);
+            consider(p.readPortFreeAt);
+        }
+    }
+    for (const RobEntry *e : elimWait_) {
+        if (e->copySrcPhys >= 0) {
+            consider(renamer_.file(e->di->dst.cls)
+                         .reg(e->copySrcPhys)
+                         .fullReadyAt);
+        }
+    }
+    return best;
+}
+
+SimResult
+OooMachine::run()
+{
+    while (true) {
+        bool progress = false;
+        progress |= commitStep() > 0;
+        resolveEliminated();
+        cleanupWaitSet();
+        progress |= memIssueStep();
+        progress |= issueQueue(aQueue_, false);
+        progress |= issueQueue(sQueue_, false);
+        progress |= issueQueue(vQueue_, true);
+        progress |= pipeAdvance();
+        progress |= dispatchStep();
+        progress |= fetchStep();
+
+        if (fetchIndex_ >= trace_.size() && fetchBuffer_.empty() &&
+            rob_.empty()) {
+            break;
+        }
+
+        if (progress) {
+            ++now_;
+        } else {
+            Cycle next = nextEventAfter();
+            if (next == kNoCycle) {
+                std::string head = "-";
+                if (!rob_.empty()) {
+                    const RobEntry &h = *rob_.front();
+                    head = h.di->toString();
+                    for (unsigned i = 0; i < h.di->numSrc; ++i) {
+                        const RegId &r = h.di->src[i];
+                        if (!r.valid() || h.physSrc[i] < 0) {
+                            head += csprintf(" [src%u unmapped]", i);
+                            continue;
+                        }
+                        const PhysReg &p =
+                            renamer_.file(r.cls).reg(h.physSrc[i]);
+                        head += csprintf(
+                            " [src%u=p%d chain=%lld full=%lld]", i,
+                            h.physSrc[i],
+                            p.chainReadyAt == kNoCycle
+                                ? -1LL
+                                : (long long)p.chainReadyAt,
+                            p.fullReadyAt == kNoCycle
+                                ? -1LL
+                                : (long long)p.fullReadyAt);
+                    }
+                    head += csprintf(" started=%d conflicts=%d",
+                                     (int)h.started,
+                                     (int)memConflicts(h));
+                }
+                panic("OOOVA deadlock at cycle %llu: rob=%zu "
+                      "fetch=%zu/%zu waitSet=%zu vQ=%zu aQ=%zu "
+                      "sQ=%zu memSlots=%u head=%s",
+                      (unsigned long long)now_, rob_.size(),
+                      fetchIndex_, trace_.size(), waitSet_.size(),
+                      vQueue_.size(), aQueue_.size(), sQueue_.size(),
+                      memSlotsUsed_, head.c_str());
+            }
+            now_ = next;
+        }
+    }
+    finish(now_);
+
+    SimResult res;
+    res.program = trace_.name();
+    res.machine = cfg_.name();
+    res.cycles = endCycle_;
+    res.instructions = committed_;
+    res.fu1BusyCycles = fu1Rec_.busyCycles();
+    res.fu2BusyCycles = fu2Rec_.busyCycles();
+    res.memBusyCycles = bus_.busy().busyCycles();
+    res.memRequests = bus_.requests();
+    res.vectorLoadsEliminated = vElims_;
+    res.scalarLoadsEliminated = sElims_;
+    res.branchMispredicts = mispredicts_;
+    res.renameStallCycles = renameStalls_;
+    res.robStallCycles = robStalls_;
+    res.queueStallCycles = queueStalls_;
+    res.traps = traps_;
+    res.stateCycles = UnitStateBreakdown::compute(
+        fu2Rec_, fu1Rec_, bus_.busy(), endCycle_);
+    return res;
+}
+
+} // namespace
+
+SimResult
+simulateOoo(const Trace &trace, const OooConfig &cfg,
+            const FaultInjection &fault)
+{
+    OooMachine machine(trace, cfg, fault);
+    return machine.run();
+}
+
+} // namespace oova

@@ -1,0 +1,110 @@
+#include "core/physreg.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace oova
+{
+
+PhysRegFile::PhysRegFile(unsigned num_regs, unsigned num_logical)
+    : regs_(num_regs)
+{
+    sim_assert(num_regs > num_logical,
+               "need more physical (%u) than logical (%u) registers",
+               num_regs, num_logical);
+    for (unsigned r = 0; r < num_logical; ++r)
+        regs_[r].refCount = 1; // initial architected mappings
+    for (unsigned r = num_logical; r < num_regs; ++r) {
+        regs_[r].inFreeList = true;
+        freeList_.push_back(static_cast<int>(r));
+    }
+}
+
+int
+PhysRegFile::alloc()
+{
+    sim_assert(!freeList_.empty(), "allocation from empty free list");
+    // Prefer an untagged register: tagged free registers are a
+    // cache of memory contents that load elimination can still hit.
+    auto it = std::find_if(freeList_.begin(), freeList_.end(),
+                           [this](int r) { return !regs_[r].tag.valid; });
+    if (it == freeList_.end())
+        it = freeList_.begin();
+    int r = *it;
+    freeList_.erase(it);
+
+    PhysReg &p = regs_[r];
+    p.inFreeList = false;
+    p.refCount = 1;
+    p.chainReadyAt = kNoCycle;
+    p.fullReadyAt = kNoCycle;
+    p.readPortFreeAt = 0;
+    p.writerIsLoad = false;
+    p.tag = MemTag{};
+    return r;
+}
+
+void
+PhysRegFile::addRef(int r)
+{
+    sim_assert(!regs_[r].inFreeList, "addRef on free register %d", r);
+    ++regs_[r].refCount;
+}
+
+void
+PhysRegFile::release(int r)
+{
+    PhysReg &p = regs_[r];
+    sim_assert(p.refCount > 0, "release of unreferenced register %d",
+               r);
+    if (--p.refCount == 0) {
+        sim_assert(!p.inFreeList, "double free of register %d", r);
+        p.inFreeList = true;
+        freeList_.push_back(r);
+        // Value state and tag are intentionally preserved: the
+        // register remains a load-elimination candidate until it is
+        // reallocated for a new definition.
+    }
+}
+
+void
+PhysRegFile::reviveFromFreeList(int r)
+{
+    PhysReg &p = regs_[r];
+    sim_assert(p.inFreeList, "revive of live register %d", r);
+    auto it = std::find(freeList_.begin(), freeList_.end(), r);
+    sim_assert(it != freeList_.end(), "free list corrupt");
+    freeList_.erase(it);
+    p.inFreeList = false;
+    p.refCount = 1;
+}
+
+int
+PhysRegFile::findExactTag(const MemTag &tag) const
+{
+    for (size_t r = 0; r < regs_.size(); ++r)
+        if (regs_[r].tag.exactMatch(tag))
+            return static_cast<int>(r);
+    return -1;
+}
+
+void
+PhysRegFile::invalidateOverlapping(Addr lo, Addr hi, int except)
+{
+    for (size_t r = 0; r < regs_.size(); ++r) {
+        if (static_cast<int>(r) == except)
+            continue;
+        if (regs_[r].tag.overlaps(lo, hi))
+            regs_[r].tag.valid = false;
+    }
+}
+
+void
+PhysRegFile::invalidateAllTags()
+{
+    for (auto &p : regs_)
+        p.tag.valid = false;
+}
+
+} // namespace oova

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Physical register files for the OOOVA.
+ *
+ * Each register class (A, S, V, M) has its own file and free list,
+ * as in the paper. Two departures from a textbook R10000 scheme are
+ * required by the paper's mechanisms:
+ *
+ *  - Registers are reference counted: dynamic load elimination can
+ *    map several logical registers onto one physical register, and a
+ *    physical register on the free list can be revived by a tag
+ *    match, so "free" is only safe once the last claim dies.
+ *  - Each register carries a memory tag (paper section 6.1): the
+ *    address range, vector length, stride and element size of the
+ *    memory region whose contents the register mirrors. Tags stay
+ *    valid on the free list until the register is reallocated.
+ */
+
+#ifndef OOVA_CORE_PHYSREG_HH
+#define OOVA_CORE_PHYSREG_HH
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/registers.hh"
+
+namespace oova
+{
+
+/** The 6-tuple (4-tuple for scalars) memory tag of section 6.1. */
+struct MemTag
+{
+    bool valid = false;
+    Addr start = 0;   ///< first byte of the mirrored region
+    Addr end = 0;     ///< one past the last byte
+    uint16_t vl = 0;  ///< vector length at tag creation (1 = scalar)
+    int64_t stride = 0;
+    uint8_t esz = 0;
+
+    bool
+    exactMatch(const MemTag &o) const
+    {
+        return valid && o.valid && start == o.start && end == o.end &&
+               vl == o.vl && stride == o.stride && esz == o.esz;
+    }
+
+    bool
+    overlaps(Addr lo, Addr hi) const
+    {
+        return valid && start < hi && lo < end;
+    }
+};
+
+/** State of one physical register. */
+struct PhysReg
+{
+    /** Earliest cycle a chaining consumer may start reading. */
+    Cycle chainReadyAt = 0;
+    /** Cycle the last element (or scalar value) is written. */
+    Cycle fullReadyAt = 0;
+    /**
+     * Each OOOVA vector register has one dedicated read port
+     * (paper section 2.2), so concurrent readers serialize. This is
+     * the cycle the port frees.
+     */
+    Cycle readPortFreeAt = 0;
+    bool writerIsLoad = false;
+    int refCount = 0;
+    bool inFreeList = false;
+    MemTag tag;
+};
+
+/** One class's physical file + free list. */
+class PhysRegFile
+{
+  public:
+    /**
+     * @param num_regs total physical registers
+     * @param num_logical architected registers; physical 0..n-1 are
+     *        the initial mappings (ready, refCount 1); the rest
+     *        start on the free list
+     */
+    PhysRegFile(unsigned num_regs, unsigned num_logical);
+
+    unsigned size() const
+    {
+        return static_cast<unsigned>(regs_.size());
+    }
+
+    unsigned numFree() const
+    {
+        return static_cast<unsigned>(freeList_.size());
+    }
+
+    bool hasFree() const { return !freeList_.empty(); }
+
+    /**
+     * Allocate a register for a new definition: prefers untagged
+     * free registers so tagged ones survive longer for load
+     * elimination. Resets tag and readiness; sets refCount to 1.
+     * @return register index; panics if the free list is empty.
+     */
+    int alloc();
+
+    /** Add a claim (extra logical mapping) to a register. */
+    void addRef(int r);
+
+    /** Drop a claim; the register is freed when none remain. */
+    void release(int r);
+
+    /**
+     * Revive a free register matched by a load tag: removes it from
+     * the free list (value state and tag are preserved) and gives it
+     * one claim.
+     */
+    void reviveFromFreeList(int r);
+
+    PhysReg &reg(int r) { return regs_[static_cast<size_t>(r)]; }
+    const PhysReg &
+    reg(int r) const
+    {
+        return regs_[static_cast<size_t>(r)];
+    }
+
+    /** Find any register whose tag exactly matches, else -1. */
+    int findExactTag(const MemTag &tag) const;
+
+    /**
+     * Conservatively invalidate every tag overlapping [lo, hi),
+     * except register @p except (the one being stored, whose tag
+     * was just set to this very region).
+     */
+    void invalidateOverlapping(Addr lo, Addr hi, int except = -1);
+
+    /** Invalidate all tags (used on trap recovery). */
+    void invalidateAllTags();
+
+  private:
+    std::vector<PhysReg> regs_;
+    std::deque<int> freeList_;
+};
+
+} // namespace oova
+
+#endif // OOVA_CORE_PHYSREG_HH

@@ -1,0 +1,59 @@
+#include "core/renamer.hh"
+
+#include "common/logging.hh"
+
+namespace oova
+{
+
+Renamer::Renamer(const RenamerConfig &cfg)
+    : files_{PhysRegFile(cfg.numPhysA, kNumLogicalARegs),
+             PhysRegFile(cfg.numPhysS, kNumLogicalSRegs),
+             PhysRegFile(cfg.numPhysV, kNumLogicalVRegs),
+             PhysRegFile(cfg.numPhysM, kNumLogicalMRegs)}
+{
+    for (unsigned c = 0; c < kNumRegClasses; ++c) {
+        unsigned n = numLogicalRegs(static_cast<RegClass>(c));
+        maps_[c].resize(n);
+        for (unsigned l = 0; l < n; ++l)
+            maps_[c][l] = static_cast<int>(l);
+    }
+}
+
+Renamer::Renamed
+Renamer::renameDst(const RegId &dst)
+{
+    sim_assert(dst.valid(), "rename of invalid destination");
+    auto &map = maps_[clsIdx(dst.cls)];
+    int old_phys = map[dst.idx];
+    int phys = file(dst.cls).alloc();
+    map[dst.idx] = phys;
+    return {phys, old_phys};
+}
+
+Renamer::Renamed
+Renamer::redirectDst(const RegId &dst, int phys)
+{
+    sim_assert(dst.valid(), "redirect of invalid destination");
+    auto &map = maps_[clsIdx(dst.cls)];
+    int old_phys = map[dst.idx];
+    PhysRegFile &f = file(dst.cls);
+    if (f.reg(phys).inFreeList)
+        f.reviveFromFreeList(phys);
+    else
+        f.addRef(phys);
+    map[dst.idx] = phys;
+    return {phys, old_phys};
+}
+
+void
+Renamer::rollback(const RegId &dst, int phys_dst, int old_phys)
+{
+    auto &map = maps_[clsIdx(dst.cls)];
+    sim_assert(map[dst.idx] == phys_dst,
+               "rollback out of order: map holds %d, expected %d",
+               map[dst.idx], phys_dst);
+    map[dst.idx] = old_phys;
+    file(dst.cls).release(phys_dst);
+}
+
+} // namespace oova

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Register renaming for the OOOVA (paper section 2.2): four
+ * independent map tables, one per register class, each with its own
+ * free list. Renaming records the previous mapping so the reorder
+ * buffer can restore precise state (section 5) and so committed
+ * instructions can return dead registers to the free list.
+ */
+
+#ifndef OOVA_CORE_RENAMER_HH
+#define OOVA_CORE_RENAMER_HH
+
+#include <array>
+#include <vector>
+
+#include "core/physreg.hh"
+
+namespace oova
+{
+
+/** Physical register counts per class. */
+struct RenamerConfig
+{
+    unsigned numPhysA = 64;
+    unsigned numPhysS = 64;
+    unsigned numPhysV = 16;
+    unsigned numPhysM = 8;
+};
+
+/** Four map tables over four physical files. */
+class Renamer
+{
+  public:
+    explicit Renamer(const RenamerConfig &cfg);
+
+    /** Current physical mapping of a logical register. */
+    int
+    mapOf(const RegId &r) const
+    {
+        return maps_[clsIdx(r.cls)][r.idx];
+    }
+
+    /** Can a destination of this class be renamed right now? */
+    bool
+    canRename(RegClass cls) const
+    {
+        return file(cls).hasFree();
+    }
+
+    /** Outcome of renaming a destination. */
+    struct Renamed
+    {
+        int physDst;
+        int oldPhys;
+    };
+
+    /**
+     * Rename a destination: allocates a fresh physical register and
+     * returns it with the previous mapping (to be stored in the
+     * reorder buffer entry).
+     */
+    Renamed renameDst(const RegId &dst);
+
+    /**
+     * Redirect a logical register onto an existing physical register
+     * (vector load elimination): claims @p phys — reviving it from
+     * the free list if needed — and returns the previous mapping.
+     */
+    Renamed redirectDst(const RegId &dst, int phys);
+
+    /**
+     * Undo one rename (squash path): restore the old mapping and
+     * drop the new register's claim.
+     */
+    void rollback(const RegId &dst, int phys_dst, int old_phys);
+
+    /** Commit-side release of the overwritten old mapping. */
+    void
+    releaseOld(RegClass cls, int old_phys)
+    {
+        file(cls).release(old_phys);
+    }
+
+    PhysRegFile &file(RegClass cls) { return files_[clsIdx(cls)]; }
+    const PhysRegFile &
+    file(RegClass cls) const
+    {
+        return files_[clsIdx(cls)];
+    }
+
+    static unsigned
+    clsIdx(RegClass cls)
+    {
+        return static_cast<unsigned>(cls);
+    }
+
+  private:
+    std::array<PhysRegFile, kNumRegClasses> files_;
+    std::array<std::vector<int>, kNumRegClasses> maps_;
+};
+
+} // namespace oova
+
+#endif // OOVA_CORE_RENAMER_HH

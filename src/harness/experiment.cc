@@ -1,0 +1,91 @@
+#include "harness/experiment.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace oova
+{
+
+Workloads::Workloads(double scale) : scale_(scale)
+{
+    sim_assert(scale > 0.0, "non-positive trace scale");
+}
+
+const Trace &
+Workloads::get(const std::string &name)
+{
+    auto it = cache_.find(name);
+    if (it != cache_.end())
+        return it->second;
+    GenOptions opts;
+    opts.scale = scale_;
+    auto [pos, inserted] =
+        cache_.emplace(name, makeBenchmarkTrace(name, opts));
+    (void)inserted;
+    return pos->second;
+}
+
+const std::vector<std::string> &
+Workloads::names() const
+{
+    return benchmarkNames();
+}
+
+double
+Workloads::envScale()
+{
+    const char *env = std::getenv("OOVA_SCALE");
+    if (!env)
+        return 1.0;
+    double v = std::atof(env);
+    if (v <= 0.0) {
+        warn("ignoring bad OOVA_SCALE '%s'", env);
+        return 1.0;
+    }
+    return v;
+}
+
+RefConfig
+makeRefConfig(unsigned mem_latency)
+{
+    RefConfig cfg;
+    cfg.lat = LatencyTable::refDefaults();
+    cfg.lat.memLatency = mem_latency;
+    return cfg;
+}
+
+OooConfig
+makeOooConfig(unsigned phys_vregs, unsigned queue_size,
+              unsigned mem_latency, CommitMode commit,
+              LoadElimMode elim)
+{
+    OooConfig cfg;
+    cfg.lat = LatencyTable::oooDefaults();
+    cfg.lat.memLatency = mem_latency;
+    cfg.numPhysVRegs = phys_vregs;
+    cfg.queueSize = queue_size;
+    cfg.commit = commit;
+    cfg.loadElim = elim;
+    return cfg;
+}
+
+double
+speedup(const SimResult &base, const SimResult &x)
+{
+    if (x.cycles == 0)
+        return 0.0;
+    return static_cast<double>(base.cycles) /
+           static_cast<double>(x.cycles);
+}
+
+void
+printHeader(const std::string &title, const Workloads &w)
+{
+    std::printf("== %s ==\n", title.c_str());
+    std::printf("trace scale: %.2f (set OOVA_SCALE to change)\n\n",
+                w.scale());
+}
+
+} // namespace oova

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Shared machinery for the bench binaries that regenerate the
+ * paper's tables and figures: a cached workload set, standard
+ * machine-configuration builders, and speedup helpers.
+ */
+
+#ifndef OOVA_HARNESS_EXPERIMENT_HH
+#define OOVA_HARNESS_EXPERIMENT_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/config.hh"
+#include "core/ideal.hh"
+#include "core/ooosim.hh"
+#include "ref/refsim.hh"
+#include "tgen/benchmarks.hh"
+
+namespace oova
+{
+
+/**
+ * Generates and caches the ten benchmark traces. The trace scale can
+ * be adjusted with the OOVA_SCALE environment variable (default 1.0)
+ * to trade bench runtime against steady-state fidelity.
+ */
+class Workloads
+{
+  public:
+    explicit Workloads(double scale = envScale());
+
+    /** The trace for one benchmark (generated on first use). */
+    const Trace &get(const std::string &name);
+
+    /** All ten, in the paper's order. */
+    const std::vector<std::string> &names() const;
+
+    double scale() const { return scale_; }
+
+    /** Scale from OOVA_SCALE, or 1.0. */
+    static double envScale();
+
+  private:
+    double scale_;
+    std::map<std::string, Trace> cache_;
+};
+
+/** Reference machine at a given memory latency. */
+RefConfig makeRefConfig(unsigned mem_latency);
+
+/** OOOVA with the paper's default parameters, varying the knobs. */
+OooConfig makeOooConfig(unsigned phys_vregs = 16,
+                        unsigned queue_size = 16,
+                        unsigned mem_latency = 50,
+                        CommitMode commit = CommitMode::Early,
+                        LoadElimMode elim = LoadElimMode::None);
+
+/** base.cycles / x.cycles — how much faster x is than base. */
+double speedup(const SimResult &base, const SimResult &x);
+
+/** Print a banner naming the experiment and the trace scale. */
+void printHeader(const std::string &title, const Workloads &w);
+
+} // namespace oova
+
+#endif // OOVA_HARNESS_EXPERIMENT_HH

@@ -1,0 +1,184 @@
+#include "isa/instruction.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace oova
+{
+
+std::pair<Addr, Addr>
+DynInst::memRange() const
+{
+    sim_assert(isMem(), "memRange() on non-memory op %s", opName(op));
+    if (isIndexedMem())
+        return {addr, addr + regionBytes};
+    if (!isVector())
+        return {addr, addr + elemSize};
+
+    int64_t span = static_cast<int64_t>(vl - 1) * strideBytes;
+    if (span >= 0)
+        return {addr, addr + static_cast<Addr>(span) + elemSize};
+    // Negative stride: the last element has the lowest address.
+    return {addr - static_cast<Addr>(-span),
+            addr + elemSize};
+}
+
+namespace
+{
+
+std::string
+regStr(const RegId &r)
+{
+    if (!r.valid())
+        return "-";
+    return std::string(1, regClassPrefix(r.cls)) + std::to_string(r.idx);
+}
+
+} // namespace
+
+std::string
+DynInst::toString() const
+{
+    std::ostringstream os;
+    os << opName(op);
+    if (dst.valid())
+        os << " " << regStr(dst);
+    for (unsigned i = 0; i < numSrc; ++i)
+        os << (i == 0 && !dst.valid() ? " " : ", ") << regStr(src[i]);
+    if (isMem()) {
+        os << " @0x" << std::hex << addr << std::dec;
+        if (isVector())
+            os << " vl=" << vl << " vs=" << strideBytes;
+        if (isSpill)
+            os << " [spill]";
+    } else if (isVector()) {
+        os << " vl=" << vl;
+    }
+    if (isBranch())
+        os << (taken ? " T" : " N");
+    return os.str();
+}
+
+DynInst
+makeVArith(Opcode op, RegId dst, RegId src_a, RegId src_b, uint16_t vl)
+{
+    sim_assert(traits(op).isVector && !traits(op).isMem,
+               "%s is not vector arithmetic", opName(op));
+    DynInst inst;
+    inst.op = op;
+    inst.dst = dst;
+    if (src_a.valid())
+        inst.addSrc(src_a);
+    if (src_b.valid())
+        inst.addSrc(src_b);
+    inst.vl = vl;
+    return inst;
+}
+
+DynInst
+makeVLoad(RegId dst, RegId base_reg, Addr addr, int64_t stride_bytes,
+          uint16_t vl, bool is_spill)
+{
+    DynInst inst;
+    inst.op = Opcode::VLoad;
+    inst.dst = dst;
+    if (base_reg.valid())
+        inst.addSrc(base_reg);
+    inst.addr = addr;
+    inst.strideBytes = stride_bytes;
+    inst.vl = vl;
+    inst.isSpill = is_spill;
+    return inst;
+}
+
+DynInst
+makeVStore(RegId data, RegId base_reg, Addr addr, int64_t stride_bytes,
+           uint16_t vl, bool is_spill)
+{
+    DynInst inst;
+    inst.op = Opcode::VStore;
+    inst.addSrc(data);
+    if (base_reg.valid())
+        inst.addSrc(base_reg);
+    inst.addr = addr;
+    inst.strideBytes = stride_bytes;
+    inst.vl = vl;
+    inst.isSpill = is_spill;
+    return inst;
+}
+
+DynInst
+makeScalar(Opcode op, RegId dst, RegId src_a, RegId src_b)
+{
+    DynInst inst;
+    inst.op = op;
+    inst.dst = dst;
+    if (src_a.valid())
+        inst.addSrc(src_a);
+    if (src_b.valid())
+        inst.addSrc(src_b);
+    return inst;
+}
+
+DynInst
+makeSLoad(RegId dst, RegId base_reg, Addr addr, bool is_spill)
+{
+    DynInst inst;
+    inst.op = Opcode::SLoad;
+    inst.dst = dst;
+    if (base_reg.valid())
+        inst.addSrc(base_reg);
+    inst.addr = addr;
+    inst.vl = 1;
+    inst.isSpill = is_spill;
+    return inst;
+}
+
+DynInst
+makeSStore(RegId data, RegId base_reg, Addr addr, bool is_spill)
+{
+    DynInst inst;
+    inst.op = Opcode::SStore;
+    inst.addSrc(data);
+    if (base_reg.valid())
+        inst.addSrc(base_reg);
+    inst.addr = addr;
+    inst.vl = 1;
+    inst.isSpill = is_spill;
+    return inst;
+}
+
+DynInst
+makeBranch(RegId cond, bool taken, Addr target)
+{
+    DynInst inst;
+    inst.op = Opcode::Branch;
+    if (cond.valid())
+        inst.addSrc(cond);
+    inst.taken = taken;
+    inst.target = target;
+    return inst;
+}
+
+DynInst
+makeCall(Addr target)
+{
+    DynInst inst;
+    inst.op = Opcode::Call;
+    inst.taken = true;
+    inst.target = target;
+    return inst;
+}
+
+DynInst
+makeRet(Addr target)
+{
+    DynInst inst;
+    inst.op = Opcode::Ret;
+    inst.taken = true;
+    inst.target = target;
+    return inst;
+}
+
+} // namespace oova

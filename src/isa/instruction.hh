@@ -1,0 +1,143 @@
+/**
+ * @file
+ * The dynamic instruction record — one element of a trace.
+ *
+ * The simulators are trace driven, as in the paper: the workload
+ * generator (our Dixie substitute) emits fully resolved dynamic
+ * instructions, including memory addresses, per-instruction vector
+ * length / stride, and branch outcomes. The simulators never compute
+ * data values; they model time.
+ */
+
+#ifndef OOVA_ISA_INSTRUCTION_HH
+#define OOVA_ISA_INSTRUCTION_HH
+
+#include <array>
+#include <string>
+#include <utility>
+
+#include "common/types.hh"
+#include "isa/opcodes.hh"
+#include "isa/registers.hh"
+
+namespace oova
+{
+
+/** Maximum source operands on any instruction. */
+constexpr unsigned kMaxSrcRegs = 3;
+
+/**
+ * One dynamic (executed) instruction.
+ *
+ * Memory operands: for strided ops, @c addr is the base address and
+ * @c strideBytes the element stride (possibly negative). For
+ * gather/scatter the individual element addresses are unknown to the
+ * hardware ahead of time, so the generator supplies the conservative
+ * enclosing region [addr, addr+regionBytes) used for disambiguation,
+ * matching the paper's range mechanism.
+ */
+struct DynInst
+{
+    Addr pc = 0;
+    Opcode op = Opcode::SMove;
+
+    RegId dst;
+    std::array<RegId, kMaxSrcRegs> src{};
+    uint8_t numSrc = 0;
+
+    /** Vector length in elements for vector ops (1 for scalars). */
+    uint16_t vl = 1;
+    int64_t strideBytes = kElemBytes;
+    Addr addr = 0;
+    uint32_t regionBytes = 0; ///< gather/scatter only
+    uint8_t elemSize = kElemBytes;
+
+    bool taken = false; ///< branch outcome from the trace
+    Addr target = 0;    ///< branch target
+
+    bool isSpill = false; ///< compiler-generated spill load/store
+
+    const OpTraits &traits() const { return oova::traits(op); }
+
+    bool isVector() const { return traits().isVector; }
+    bool isMem() const { return traits().isMem; }
+    bool isLoad() const { return traits().isLoad; }
+    bool isStore() const { return traits().isStore; }
+    bool isBranch() const { return traits().isBranch; }
+    bool isVectorMem() const { return isMem() && isVector(); }
+    bool isVectorArith() const { return isVector() && !isMem(); }
+    bool isIndexedMem() const
+    {
+        return op == Opcode::VGather || op == Opcode::VScatter;
+    }
+
+    /** Number of element requests this op puts on the address bus. */
+    unsigned
+    memElems() const
+    {
+        return isVectorMem() ? vl : 1;
+    }
+
+    /**
+     * Conservative byte range touched by a memory op, as computed by
+     * the paper's Range pipeline stage: [first, last) half-open.
+     */
+    std::pair<Addr, Addr> memRange() const;
+
+    /** True if two memory ranges overlap. */
+    static bool
+    rangesOverlap(const std::pair<Addr, Addr> &a,
+                  const std::pair<Addr, Addr> &b)
+    {
+        return a.first < b.second && b.first < a.second;
+    }
+
+    /** Append a source operand. */
+    void
+    addSrc(RegId r)
+    {
+        src[numSrc++] = r;
+    }
+
+    /** Disassembly for debugging and trace dumps. */
+    std::string toString() const;
+};
+
+/** Build a vector arithmetic instruction. */
+DynInst makeVArith(Opcode op, RegId dst, RegId src_a, RegId src_b,
+                   uint16_t vl);
+
+/** Build a strided vector load. */
+DynInst makeVLoad(RegId dst, RegId base_reg, Addr addr,
+                  int64_t stride_bytes, uint16_t vl,
+                  bool is_spill = false);
+
+/** Build a strided vector store. */
+DynInst makeVStore(RegId data, RegId base_reg, Addr addr,
+                   int64_t stride_bytes, uint16_t vl,
+                   bool is_spill = false);
+
+/** Build a scalar ALU instruction. */
+DynInst makeScalar(Opcode op, RegId dst, RegId src_a,
+                   RegId src_b = RegId());
+
+/** Build a scalar load. */
+DynInst makeSLoad(RegId dst, RegId base_reg, Addr addr,
+                  bool is_spill = false);
+
+/** Build a scalar store. */
+DynInst makeSStore(RegId data, RegId base_reg, Addr addr,
+                   bool is_spill = false);
+
+/** Build a conditional branch. */
+DynInst makeBranch(RegId cond, bool taken, Addr target);
+
+/** Build a subroutine call (always taken). */
+DynInst makeCall(Addr target);
+
+/** Build a subroutine return (always taken). */
+DynInst makeRet(Addr target);
+
+} // namespace oova
+
+#endif // OOVA_ISA_INSTRUCTION_HH

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Opcode set and static opcode traits.
+ *
+ * The opcode vocabulary is the minimum needed to reproduce the
+ * paper's timing behaviour: what matters to both simulators is an
+ * instruction's functional-unit class, latency class and memory
+ * behaviour, not its exact semantics. FU2 executes every vector
+ * operation; FU1 executes everything except multiply, divide and
+ * square root (paper section 2.1).
+ */
+
+#ifndef OOVA_ISA_OPCODES_HH
+#define OOVA_ISA_OPCODES_HH
+
+#include <cstdint>
+
+namespace oova
+{
+
+enum class Opcode : uint8_t
+{
+    // Scalar computation (A or S class chosen by the dest operand).
+    SAdd,     ///< scalar add/sub/logic
+    SMul,     ///< scalar multiply
+    SDiv,     ///< scalar divide / sqrt
+    SMove,    ///< scalar register move / immediate load
+    // Scalar memory.
+    SLoad,
+    SStore,
+    // Control.
+    Branch,   ///< conditional or unconditional branch
+    Call,     ///< subroutine call (pushes the return stack)
+    Ret,      ///< subroutine return (pops the return stack)
+    SetVL,    ///< write the vector length register
+    SetVS,    ///< write the vector stride register
+    // Vector arithmetic.
+    VAdd,     ///< vector add/sub
+    VMul,     ///< vector multiply (FU2 only)
+    VDiv,     ///< vector divide (FU2 only)
+    VSqrt,    ///< vector square root (FU2 only)
+    VLogic,   ///< vector logical ops
+    VShift,   ///< vector shifts
+    VCmp,     ///< vector compare, writes a mask register
+    VMerge,   ///< vector merge under mask
+    VReduce,  ///< reduction: vector source, scalar dest
+    // Vector memory.
+    VLoad,    ///< unit or constant stride load
+    VStore,   ///< unit or constant stride store
+    VGather,  ///< indexed load
+    VScatter, ///< indexed store
+    NumOpcodes,
+};
+
+constexpr unsigned kNumOpcodes = static_cast<unsigned>(Opcode::NumOpcodes);
+
+/** Latency classes; cycle counts live in LatencyTable. */
+enum class LatClass : uint8_t
+{
+    Move,     ///< register move / control
+    AddLogic, ///< add, logic, shift, compare, merge
+    Mul,
+    DivSqrt,
+    Mem,      ///< memory access (latency comes from the mem model)
+};
+
+/** Static properties of one opcode. */
+struct OpTraits
+{
+    const char *name;
+    bool isVector;  ///< executes in the vector unit / uses V regs
+    bool isMem;
+    bool isLoad;
+    bool isStore;
+    bool isBranch;
+    bool isControl; ///< SetVL / SetVS
+    bool fu2Only;   ///< vector op that only FU2 can execute
+    bool writesMask;
+    LatClass lat;
+};
+
+/** Look up the traits of an opcode. */
+const OpTraits &traits(Opcode op);
+
+/** Short mnemonic, e.g. "vadd". */
+const char *opName(Opcode op);
+
+/** True for subroutine calls (they push the return stack). */
+constexpr bool
+isCallOp(Opcode op)
+{
+    return op == Opcode::Call;
+}
+
+/** True for subroutine returns (they pop the return stack). */
+constexpr bool
+isRetOp(Opcode op)
+{
+    return op == Opcode::Ret;
+}
+
+} // namespace oova
+
+#endif // OOVA_ISA_OPCODES_HH

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Architected register classes of the Convex C3400-like ISA.
+ *
+ * The machine has four register classes, mirroring the paper:
+ *  - A: 8 address registers (scalar unit)
+ *  - S: 8 scalar registers (scalar unit)
+ *  - V: 8 vector registers of up to 128 64-bit elements
+ *  - M: 1 vector-mask register
+ * Renaming (in the OOOVA) maps each class onto its own physical
+ * register file with its own free list.
+ */
+
+#ifndef OOVA_ISA_REGISTERS_HH
+#define OOVA_ISA_REGISTERS_HH
+
+#include <cstdint>
+
+namespace oova
+{
+
+/** The four architected register classes (plus None for "no reg"). */
+enum class RegClass : uint8_t
+{
+    A,      ///< A registers (addresses, loop counters)
+    S,      ///< S registers (scalar floating point / integer)
+    V,      ///< V registers (128 x 64-bit elements)
+    M,      ///< vector mask register(s)
+    None,   ///< absent operand
+};
+
+constexpr unsigned kNumRegClasses = 4;
+
+/** Architected (logical) register counts per class. */
+constexpr unsigned kNumLogicalARegs = 8;
+constexpr unsigned kNumLogicalSRegs = 8;
+constexpr unsigned kNumLogicalVRegs = 8;
+constexpr unsigned kNumLogicalMRegs = 1;
+
+/** Maximum elements held by one vector register. */
+constexpr unsigned kMaxVectorLength = 128;
+
+/** Size in bytes of one vector element (64-bit machine words). */
+constexpr unsigned kElemBytes = 8;
+
+/** Number of architected registers in a class. */
+constexpr unsigned
+numLogicalRegs(RegClass cls)
+{
+    switch (cls) {
+      case RegClass::A:
+        return kNumLogicalARegs;
+      case RegClass::S:
+        return kNumLogicalSRegs;
+      case RegClass::V:
+        return kNumLogicalVRegs;
+      case RegClass::M:
+        return kNumLogicalMRegs;
+      default:
+        return 0;
+    }
+}
+
+/** One-letter class prefix used by the disassembler. */
+constexpr char
+regClassPrefix(RegClass cls)
+{
+    switch (cls) {
+      case RegClass::A:
+        return 'a';
+      case RegClass::S:
+        return 's';
+      case RegClass::V:
+        return 'v';
+      case RegClass::M:
+        return 'm';
+      default:
+        return '?';
+    }
+}
+
+/** An architected register operand: class + index within class. */
+struct RegId
+{
+    RegClass cls = RegClass::None;
+    uint8_t idx = 0;
+
+    constexpr RegId() = default;
+    constexpr RegId(RegClass c, uint8_t i) : cls(c), idx(i) {}
+
+    constexpr bool valid() const { return cls != RegClass::None; }
+
+    constexpr bool
+    operator==(const RegId &other) const
+    {
+        return cls == other.cls && idx == other.idx;
+    }
+};
+
+/** Convenience constructors for operands. */
+constexpr RegId
+aReg(uint8_t i)
+{
+    return RegId(RegClass::A, i);
+}
+
+constexpr RegId
+sReg(uint8_t i)
+{
+    return RegId(RegClass::S, i);
+}
+
+constexpr RegId
+vReg(uint8_t i)
+{
+    return RegId(RegClass::V, i);
+}
+
+constexpr RegId
+mReg(uint8_t i)
+{
+    return RegId(RegClass::M, i);
+}
+
+} // namespace oova
+
+#endif // OOVA_ISA_REGISTERS_HH

@@ -1,0 +1,3 @@
+#include "mem/membus.hh"
+
+// AddressBus is header-only; this file anchors the library target.

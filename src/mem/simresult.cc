@@ -1,0 +1,31 @@
+#include "mem/simresult.hh"
+
+namespace oova
+{
+
+const char *
+stallCauseName(StallCause cause)
+{
+    switch (cause) {
+      case StallCause::None:
+        return "none";
+      case StallCause::ScalarDep:
+        return "scalar-dep";
+      case StallCause::VectorDep:
+        return "vector-dep";
+      case StallCause::WarWaw:
+        return "war/waw";
+      case StallCause::FuBusy:
+        return "fu-busy";
+      case StallCause::MemUnit:
+        return "mem-unit";
+      case StallCause::Ports:
+        return "ports";
+      case StallCause::Branch:
+        return "branch";
+      default:
+        return "?";
+    }
+}
+
+} // namespace oova

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The result record shared by both simulators and consumed by the
+ * experiment harness. Every figure of the paper is computed from
+ * these fields.
+ */
+
+#ifndef OOVA_MEM_SIMRESULT_HH
+#define OOVA_MEM_SIMRESULT_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace oova
+{
+
+/** Why an in-order issue slot was delayed (REF diagnostics). */
+enum class StallCause : uint8_t
+{
+    None,      ///< issued back to back
+    ScalarDep, ///< waiting on a scalar source
+    VectorDep, ///< waiting on a vector source (RAW)
+    WarWaw,    ///< destination register still in use
+    FuBusy,    ///< functional unit occupied
+    MemUnit,   ///< memory unit still streaming addresses
+    Ports,     ///< register-file port conflict
+    Branch,    ///< post-branch redirect bubble
+    NumCauses,
+};
+
+constexpr unsigned kNumStallCauses =
+    static_cast<unsigned>(StallCause::NumCauses);
+
+/** Human-readable stall-cause label. */
+const char *stallCauseName(StallCause cause);
+
+/** Aggregate outcome of simulating one trace on one machine. */
+struct SimResult
+{
+    std::string program;
+    std::string machine;
+
+    Cycle cycles = 0;
+    uint64_t instructions = 0;
+
+    /** Figures 3/7: cycles in each (FU2, FU1, MEM) state. */
+    std::array<uint64_t, UnitStateBreakdown::kNumStates> stateCycles{};
+
+    uint64_t fu1BusyCycles = 0;
+    uint64_t fu2BusyCycles = 0;
+    uint64_t memBusyCycles = 0;  ///< address-bus busy cycles
+    uint64_t memRequests = 0;    ///< element requests on the bus
+
+    // OOOVA-only detail.
+    uint64_t vectorLoadsEliminated = 0;
+    uint64_t scalarLoadsEliminated = 0;
+    uint64_t branchMispredicts = 0;
+    uint64_t renameStallCycles = 0;
+    uint64_t robStallCycles = 0;
+    uint64_t queueStallCycles = 0;
+    uint64_t traps = 0;
+
+    /** REF only: issue-stall cycles attributed to their cause. */
+    std::array<uint64_t, kNumStallCauses> stallCycles{};
+
+    /** Fraction of cycles the memory port was idle (figures 4/6). */
+    double
+    portIdleFraction() const
+    {
+        if (cycles == 0)
+            return 0.0;
+        return 1.0 -
+               static_cast<double>(memBusyCycles) /
+                   static_cast<double>(cycles);
+    }
+
+    /** Instructions per cycle over the whole run. */
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(instructions) / cycles
+                      : 0.0;
+    }
+};
+
+} // namespace oova
+
+#endif // OOVA_MEM_SIMRESULT_HH

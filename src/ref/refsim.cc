@@ -1,0 +1,371 @@
+#include "ref/refsim.hh"
+
+#include <algorithm>
+#include <array>
+
+#include "common/logging.hh"
+#include "mem/membus.hh"
+
+namespace oova
+{
+
+namespace
+{
+
+/** Per-logical-V-register occupancy state. */
+struct VRegState
+{
+    Cycle writeStart = 0;   ///< cycle the first element is written
+    Cycle writeEnd = 0;     ///< cycle past the last element write
+    bool writerIsLoad = false;
+    Cycle lastReadEnd = 0;  ///< cycle past the last in-flight read
+};
+
+class RefMachine
+{
+  public:
+    RefMachine(const Trace &trace, const RefConfig &cfg)
+        : trace_(trace), cfg_(cfg), lat_(cfg.lat)
+    {
+        aReady_.fill(0);
+        sReady_.fill(0);
+        mReady_.fill(0);
+        for (auto &bank : readPortFree_)
+            bank.fill(0);
+        writePortFree_.fill(0);
+    }
+
+    SimResult run();
+
+  private:
+    Cycle &scalarReady(const RegId &r);
+    Cycle vSrcAvail(const RegId &r, bool reader_is_store) const;
+    void finish(Cycle c) { endCycle_ = std::max(endCycle_, c); }
+
+    // Port constraint helpers (banked file: regs 2b and 2b+1 share
+    // two read ports and one write port).
+    Cycle readPortConstraint(const RegId &r) const;
+    void occupyReadPort(const RegId &r, Cycle until);
+    Cycle writePortConstraint(const RegId &r) const;
+    void occupyWritePort(const RegId &r, Cycle until);
+
+    const Trace &trace_;
+    const RefConfig &cfg_;
+    const LatencyTable &lat_;
+
+    std::array<Cycle, kNumLogicalARegs> aReady_;
+    std::array<Cycle, kNumLogicalSRegs> sReady_;
+    std::array<Cycle, kNumLogicalMRegs> mReady_;
+    std::array<VRegState, kNumLogicalVRegs> vreg_;
+
+    std::array<std::array<Cycle, 2>, kNumLogicalVRegs / 2>
+        readPortFree_;
+    std::array<Cycle, kNumLogicalVRegs / 2> writePortFree_;
+
+    Cycle fu1Free_ = 0;
+    Cycle fu2Free_ = 0;
+    Cycle memUnitFree_ = 0;
+    AddressBus bus_;
+    IntervalRecorder fu1Rec_;
+    IntervalRecorder fu2Rec_;
+
+    Cycle nextIssue_ = 0;
+    Cycle endCycle_ = 0;
+    std::array<uint64_t, kNumStallCauses> stallCycles_{};
+};
+
+Cycle &
+RefMachine::scalarReady(const RegId &r)
+{
+    switch (r.cls) {
+      case RegClass::A:
+        return aReady_[r.idx];
+      case RegClass::S:
+        return sReady_[r.idx];
+      case RegClass::M:
+        return mReady_[r.idx];
+      default:
+        panic("scalarReady on register class %d",
+              static_cast<int>(r.cls));
+    }
+}
+
+Cycle
+RefMachine::vSrcAvail(const RegId &r, bool reader_is_store) const
+{
+    const VRegState &st = vreg_[r.idx];
+    bool chain_ok;
+    if (st.writerIsLoad) {
+        // The C3400 does not chain memory loads into functional
+        // units (or the store unit); consumers wait for completion.
+        chain_ok = cfg_.chainLoadsToFus;
+    } else {
+        // FU -> FU and FU -> store chaining are both supported.
+        chain_ok = true;
+        (void)reader_is_store;
+    }
+    return chain_ok ? st.writeStart + 1 : st.writeEnd;
+}
+
+Cycle
+RefMachine::readPortConstraint(const RegId &r) const
+{
+    if (!cfg_.modelPortConflicts)
+        return 0;
+    const auto &bank = readPortFree_[r.idx / 2];
+    return std::min(bank[0], bank[1]);
+}
+
+void
+RefMachine::occupyReadPort(const RegId &r, Cycle until)
+{
+    if (!cfg_.modelPortConflicts)
+        return;
+    auto &bank = readPortFree_[r.idx / 2];
+    // Take the port that frees first.
+    if (bank[0] <= bank[1])
+        bank[0] = until;
+    else
+        bank[1] = until;
+}
+
+Cycle
+RefMachine::writePortConstraint(const RegId &r) const
+{
+    if (!cfg_.modelPortConflicts)
+        return 0;
+    return writePortFree_[r.idx / 2];
+}
+
+void
+RefMachine::occupyWritePort(const RegId &r, Cycle until)
+{
+    if (!cfg_.modelPortConflicts)
+        return;
+    writePortFree_[r.idx / 2] = until;
+}
+
+SimResult
+RefMachine::run()
+{
+    // Issue-time computation with stall attribution: every
+    // constraint that can delay issue raises t and records why.
+    struct IssuePoint
+    {
+        Cycle t;
+        StallCause cause = StallCause::None;
+
+        void
+        raise(Cycle c, StallCause why)
+        {
+            if (c > t) {
+                t = c;
+                cause = why;
+            }
+        }
+    };
+
+    for (const DynInst &inst : trace_) {
+        Cycle ip_base_ = nextIssue_;
+        IssuePoint ip{nextIssue_};
+        const OpTraits &tr = inst.traits();
+
+        // ---- Data constraints -------------------------------------
+        for (unsigned i = 0; i < inst.numSrc; ++i) {
+            const RegId &r = inst.src[i];
+            if (r.cls == RegClass::V) {
+                ip.raise(vSrcAvail(r, tr.isStore),
+                         StallCause::VectorDep);
+            } else if (r.valid()) {
+                ip.raise(scalarReady(r), StallCause::ScalarDep);
+            }
+        }
+        // Gather/scatter index vectors must be complete: the memory
+        // unit needs the whole index register to form addresses.
+        if (inst.isIndexedMem()) {
+            for (unsigned i = 0; i < inst.numSrc; ++i)
+                if (inst.src[i].cls == RegClass::V)
+                    ip.raise(vreg_[inst.src[i].idx].writeEnd,
+                             StallCause::VectorDep);
+        }
+
+        // WAR/WAW on a vector destination: the new value's first
+        // element may not be written before the previous user is
+        // done with the old value. The first write happens a fixed
+        // delay after issue (crossbars + latency, or the memory
+        // round trip for loads), so issue may begin that much
+        // earlier than the conflict clears.
+        if (inst.dst.cls == RegClass::V) {
+            const VRegState &d = vreg_[inst.dst.idx];
+            Cycle write_delay;
+            if (inst.isLoad()) {
+                write_delay = lat_.vectorStartup + lat_.memLatency +
+                              lat_.writeXbarVector;
+            } else {
+                write_delay = lat_.vectorStartup + lat_.readXbar +
+                              lat_.opLatency(inst.op) +
+                              lat_.writeXbarVector;
+            }
+            Cycle clear = std::max(d.lastReadEnd + 1, d.writeEnd);
+            if (clear > write_delay)
+                ip.raise(clear - write_delay, StallCause::WarWaw);
+        }
+
+        // ---- Structural constraints and execution -----------------
+        if (inst.isVectorArith()) {
+            int fu;
+            if (tr.fu2Only)
+                fu = 2;
+            else
+                fu = (fu1Free_ <= fu2Free_) ? 1 : 2;
+            ip.raise(fu == 1 ? fu1Free_ : fu2Free_,
+                     StallCause::FuBusy);
+
+            for (unsigned i = 0; i < inst.numSrc; ++i)
+                if (inst.src[i].cls == RegClass::V)
+                    ip.raise(readPortConstraint(inst.src[i]),
+                             StallCause::Ports);
+            if (inst.dst.cls == RegClass::V)
+                ip.raise(writePortConstraint(inst.dst),
+                         StallCause::Ports);
+
+            Cycle t = ip.t;
+            Cycle exec = t + lat_.vectorStartup;
+            Cycle read_done = exec + inst.vl;
+            Cycle write_start = exec + lat_.readXbar +
+                                lat_.opLatency(inst.op) +
+                                lat_.writeXbarVector;
+            Cycle write_end = write_start + inst.vl;
+
+            if (fu == 1) {
+                fu1Free_ = read_done;
+                fu1Rec_.add(t, read_done);
+            } else {
+                fu2Free_ = read_done;
+                fu2Rec_.add(t, read_done);
+            }
+            for (unsigned i = 0; i < inst.numSrc; ++i) {
+                const RegId &r = inst.src[i];
+                if (r.cls == RegClass::V) {
+                    vreg_[r.idx].lastReadEnd =
+                        std::max(vreg_[r.idx].lastReadEnd, read_done);
+                    occupyReadPort(r, read_done);
+                }
+            }
+            if (inst.dst.cls == RegClass::V) {
+                VRegState &d = vreg_[inst.dst.idx];
+                d.writeStart = write_start;
+                d.writeEnd = write_end;
+                d.writerIsLoad = false;
+                occupyWritePort(inst.dst, write_end);
+                finish(write_end);
+            } else if (inst.dst.cls == RegClass::M) {
+                mReady_[inst.dst.idx] = write_end;
+                finish(write_end);
+            } else if (inst.dst.valid()) {
+                // VReduce: the scalar result needs every element.
+                Cycle ready = exec + lat_.readXbar +
+                              lat_.opLatency(inst.op) + inst.vl +
+                              lat_.writeXbarScalar;
+                scalarReady(inst.dst) = ready;
+                finish(ready);
+            }
+        } else if (inst.isVectorMem()) {
+            ip.raise(memUnitFree_, StallCause::MemUnit);
+            if (inst.isLoad()) {
+                if (inst.dst.cls == RegClass::V)
+                    ip.raise(writePortConstraint(inst.dst),
+                             StallCause::Ports);
+                Cycle t = ip.t;
+                Cycle s = bus_.reserve(t + lat_.vectorStartup,
+                                       inst.vl);
+                memUnitFree_ = s + inst.vl;
+                VRegState &d = vreg_[inst.dst.idx];
+                d.writeStart = s + lat_.memLatency +
+                               lat_.writeXbarVector;
+                d.writeEnd = d.writeStart + inst.vl;
+                d.writerIsLoad = true;
+                occupyWritePort(inst.dst, d.writeEnd);
+                finish(d.writeEnd);
+            } else {
+                // Store: data register is src[0].
+                const RegId &data = inst.src[0];
+                ip.raise(readPortConstraint(data),
+                         StallCause::Ports);
+                Cycle t = ip.t;
+                Cycle s = bus_.reserve(t + lat_.vectorStartup,
+                                       inst.vl);
+                memUnitFree_ = s + inst.vl;
+                Cycle read_done = s + inst.vl;
+                vreg_[data.idx].lastReadEnd =
+                    std::max(vreg_[data.idx].lastReadEnd, read_done);
+                occupyReadPort(data, read_done);
+                finish(read_done);
+            }
+        } else if (inst.isMem()) {
+            // Scalar memory.
+            Cycle t = ip.t;
+            if (inst.isLoad()) {
+                Cycle s = bus_.reserve(t, 1);
+                Cycle ready = s + lat_.memLatency +
+                              lat_.writeXbarScalar;
+                scalarReady(inst.dst) = ready;
+                finish(ready);
+            } else {
+                Cycle s = bus_.reserve(t, 1);
+                finish(s + 1);
+            }
+        } else if (inst.isBranch()) {
+            Cycle t = ip.t;
+            Cycle resolve = t + lat_.opLatency(inst.op);
+            finish(resolve);
+            if (inst.taken) {
+                nextIssue_ = std::max(nextIssue_,
+                                      t + 1 + cfg_.takenBranchPenalty);
+            }
+        } else {
+            // Scalar ALU / move / SetVL / SetVS.
+            Cycle t = ip.t;
+            if (inst.dst.valid()) {
+                Cycle ready = t + lat_.opLatency(inst.op) +
+                              lat_.writeXbarScalar;
+                scalarReady(inst.dst) = ready;
+                finish(ready);
+            } else {
+                finish(t + 1);
+            }
+        }
+
+        if (ip.t > ip_base_ && ip.cause != StallCause::None) {
+            stallCycles_[static_cast<unsigned>(ip.cause)] +=
+                ip.t - ip_base_;
+        }
+        nextIssue_ = std::max(nextIssue_, ip.t + 1);
+        finish(ip.t + 1);
+    }
+
+    SimResult res;
+    res.program = trace_.name();
+    res.machine = "REF";
+    res.cycles = endCycle_;
+    res.instructions = trace_.size();
+    res.fu1BusyCycles = fu1Rec_.busyCycles();
+    res.fu2BusyCycles = fu2Rec_.busyCycles();
+    res.memBusyCycles = bus_.busy().busyCycles();
+    res.memRequests = bus_.requests();
+    res.stallCycles = stallCycles_;
+    res.stateCycles = UnitStateBreakdown::compute(
+        fu2Rec_, fu1Rec_, bus_.busy(), endCycle_);
+    return res;
+}
+
+} // namespace
+
+SimResult
+simulateRef(const Trace &trace, const RefConfig &cfg)
+{
+    RefMachine machine(trace, cfg);
+    return machine.run();
+}
+
+} // namespace oova

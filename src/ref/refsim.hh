@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The reference architecture simulator: an in-order vector machine
+ * modeled on the Convex C3400 (paper section 2.1).
+ *
+ *  - the scalar unit issues at most one instruction per cycle, in
+ *    program order, blocking on every hazard;
+ *  - the vector unit has FU2 (general purpose), FU1 (everything but
+ *    multiply/divide/sqrt) and one memory unit;
+ *  - 8 architected vector registers; pairs of registers form a bank
+ *    sharing two read ports and one write port;
+ *  - chaining from functional units to functional units and to the
+ *    store unit, but no chaining of memory loads into functional
+ *    units;
+ *  - one shared address bus, fixed memory latency, one element per
+ *    cycle.
+ *
+ * The model is analytic: each instruction's issue cycle is the max
+ * of its structural and data constraints, which is exactly
+ * equivalent to cycle-stepping a blocking single-issue front end,
+ * and busy intervals are accumulated for the figure-3/7 state
+ * breakdown.
+ */
+
+#ifndef OOVA_REF_REFSIM_HH
+#define OOVA_REF_REFSIM_HH
+
+#include "isa/latency.hh"
+#include "mem/simresult.hh"
+#include "trace/trace.hh"
+
+namespace oova
+{
+
+/** Configuration of the reference machine. */
+struct RefConfig
+{
+    LatencyTable lat = LatencyTable::refDefaults();
+
+    /**
+     * Model the banked V register file port conflicts dynamically.
+     * Off by default: on the real C3400 "the compiler is
+     * responsible for scheduling vector instructions and allocating
+     * vector registers so that no port conflicts arise" (paper
+     * section 2.1), and our generator does not perform that
+     * port-aware allocation, so charging the conflicts to REF would
+     * penalize it for stalls the real machine never saw. The
+     * bench/abl_ports ablation turns this on to quantify what
+     * port-oblivious allocation would cost.
+     */
+    bool modelPortConflicts = false;
+
+    /** Allow load->FU chaining (off on the real C3400). */
+    bool chainLoadsToFus = false;
+
+    /** Pipeline depth charged on taken branches. */
+    unsigned takenBranchPenalty = 3;
+};
+
+/** Run @p trace through the reference machine. */
+SimResult simulateRef(const Trace &trace, const RefConfig &cfg = {});
+
+} // namespace oova
+
+#endif // OOVA_REF_REFSIM_HH

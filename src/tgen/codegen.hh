@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Lowering from the kernel IR to the dynamic instruction trace.
+ *
+ * The generator plays the role of the Convex compiler plus the Dixie
+ * tracer: it strip-mines loops, assigns the 8 architected vector
+ * registers with a Belady (farthest-next-use) policy, spills to a
+ * dedicated spill region when pressure exceeds the file, keeps array
+ * stream pointers in the 6 allocatable A registers with LRU
+ * replacement (spilling pointers to their memory homes when they
+ * overflow), and emits the loop-control scalar code and branches.
+ *
+ * The spill code it emits is the raw material for the paper's
+ * Table 3 and the dynamic-load-elimination experiments.
+ */
+
+#ifndef OOVA_TGEN_CODEGEN_HH
+#define OOVA_TGEN_CODEGEN_HH
+
+#include <array>
+#include <map>
+#include <vector>
+
+#include "tgen/program.hh"
+
+namespace oova
+{
+
+/** One-shot lowering engine; use Program::generate() normally. */
+class CodeGen
+{
+  public:
+    CodeGen(const Program &prog, const GenOptions &opts);
+
+    /** Produce the trace (callable once). */
+    Trace run();
+
+  private:
+    // Static, per-kernel operand-use analysis, cached across loops.
+    struct KernelInfo
+    {
+        // Per virtual value: ordered op positions of each source use
+        // (duplicates kept: a value used twice by one op appears
+        // twice).
+        std::vector<std::vector<int>> vUsePos;
+        std::vector<std::vector<int>> sUsePos;
+    };
+
+    // Block-scoped register allocation state for one class.
+    struct BlockAlloc
+    {
+        int numRegs = 0;
+        std::vector<int> holder;  // reg -> vid (-1 free)
+        std::vector<int> regOf;   // vid -> reg (-1 not resident)
+        std::vector<bool> spilled;
+        std::vector<int> cursor;  // next unconsumed use index
+        std::vector<int> usesLeft;
+        std::vector<bool> pinned; // per reg, during one op
+        int rrNext = 0;           // round-robin start for free scan
+
+        void reset(int num_regs, int num_vids,
+                   const std::vector<std::vector<int>> &use_pos);
+        int nextUse(int vid,
+                    const std::vector<std::vector<int>> &use_pos) const;
+    };
+
+    // Array stream pointers living in A registers a0..a5.
+    struct Stream
+    {
+        Addr cur = 0;
+        Addr home = 0;
+        int areg = -1; // index into stream regs (0..5)
+        bool dirty = false;
+        uint64_t lastUse = 0;
+        bool loaded = false; // pointer has been in a register before
+    };
+
+    static constexpr int kNumStreamRegs = 6;  // a0..a5
+    static constexpr int kSpillBaseAReg = 6;  // a6
+    static constexpr int kCounterAReg = 7;    // a7
+    static constexpr int kChainSRegA = 7;     // s7 scratch chain 1
+    static constexpr int kChainSRegB = 6;     // s6 scratch chain 2
+    static constexpr int kNumAllocSRegs = 6;  // s0..s5
+
+    const KernelInfo &kernelInfo(const Kernel *k);
+
+    void emit(DynInst inst);
+    void runLoop(const LoopSpec &loop, size_t loop_idx);
+    void emitIteration(const LoopSpec &loop, size_t loop_idx,
+                       uint64_t iter, uint16_t vl, bool last_iter);
+
+    // Stream (A register) management.
+    int streamId(size_t loop_idx, int op_idx);
+    int ensureStream(int sid);
+    void bumpStream(int sid, int64_t advance_bytes);
+    void resetStreamRegs();
+
+    // V/S block allocation; emits spill code as needed.
+    int ensureV(int vvid, uint16_t vl, size_t loop_idx);
+    int allocV(int vvid, uint16_t vl, size_t loop_idx);
+    void consumeV(int vvid);
+    int ensureS(int svid, size_t loop_idx);
+    int allocS(int svid, size_t loop_idx);
+    void consumeS(int svid);
+    int pickVictim(BlockAlloc &ba,
+                   const std::vector<std::vector<int>> &use_pos) const;
+
+    Addr vSpillAddr(size_t loop_idx, int vvid) const;
+    Addr sSpillAddr(size_t loop_idx, int svid) const;
+
+    const Program &prog_;
+    GenOptions opts_;
+    Trace trace_;
+
+    std::map<const Kernel *, KernelInfo> kernelInfoCache_;
+    std::map<std::pair<size_t, int>, int> streamIds_;
+    std::vector<Stream> streams_;
+    std::array<int, kNumStreamRegs> streamRegHolder_;
+    uint64_t useClock_ = 0;
+
+    BlockAlloc vAlloc_;
+    BlockAlloc sAlloc_;
+    const KernelInfo *curInfo_ = nullptr;
+
+    uint16_t curVl_ = 0;
+    Addr blockBase_ = 0;
+    uint64_t pcIndex_ = 0;
+    bool ran_ = false;
+};
+
+} // namespace oova
+
+#endif // OOVA_TGEN_CODEGEN_HH

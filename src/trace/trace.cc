@@ -1,0 +1,4 @@
+#include "trace/trace.hh"
+
+// Trace is header-only today; this translation unit anchors the
+// library and keeps the build layout uniform across modules.

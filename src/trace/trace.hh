@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The dynamic instruction trace consumed by both simulators.
+ *
+ * A Trace is the common currency of the repository: the workload
+ * generator produces one, the reference and OOOVA simulators replay
+ * it, and the trace-statistics pass regenerates the paper's Table 2
+ * columns from it.
+ */
+
+#ifndef OOVA_TRACE_TRACE_HH
+#define OOVA_TRACE_TRACE_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace oova
+{
+
+/** An ordered dynamic instruction stream with a program name. */
+class Trace
+{
+  public:
+    Trace() = default;
+    explicit Trace(std::string name) : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+    void setName(std::string name) { name_ = std::move(name); }
+
+    /** Append an instruction (sequence position = index). */
+    void
+    push(DynInst inst)
+    {
+        insts_.push_back(inst);
+    }
+
+    size_t size() const { return insts_.size(); }
+    bool empty() const { return insts_.empty(); }
+
+    const DynInst &operator[](size_t i) const { return insts_[i]; }
+    DynInst &operator[](size_t i) { return insts_[i]; }
+
+    const std::vector<DynInst> &insts() const { return insts_; }
+
+    auto begin() const { return insts_.begin(); }
+    auto end() const { return insts_.end(); }
+
+    void
+    reserve(size_t n)
+    {
+        insts_.reserve(n);
+    }
+
+  private:
+    std::string name_;
+    std::vector<DynInst> insts_;
+};
+
+} // namespace oova
+
+#endif // OOVA_TRACE_TRACE_HH

@@ -1,0 +1,165 @@
+#include "trace/trace_io.hh"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/logging.hh"
+
+namespace oova
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'O', 'O', 'V', 'A', 'T', 'R', 'C', '1'};
+
+template <typename T>
+void
+put(std::ostream &os, T value)
+{
+    // Serialize little-endian regardless of host order.
+    unsigned char buf[sizeof(T)];
+    auto u = static_cast<uint64_t>(value);
+    for (size_t i = 0; i < sizeof(T); ++i)
+        buf[i] = static_cast<unsigned char>((u >> (8 * i)) & 0xff);
+    os.write(reinterpret_cast<const char *>(buf), sizeof(T));
+}
+
+template <typename T>
+bool
+get(std::istream &is, T &value)
+{
+    unsigned char buf[sizeof(T)];
+    if (!is.read(reinterpret_cast<char *>(buf), sizeof(T)))
+        return false;
+    uint64_t u = 0;
+    for (size_t i = 0; i < sizeof(T); ++i)
+        u |= static_cast<uint64_t>(buf[i]) << (8 * i);
+    value = static_cast<T>(u);
+    return true;
+}
+
+void
+putReg(std::ostream &os, const RegId &r)
+{
+    put<uint8_t>(os, static_cast<uint8_t>(r.cls));
+    put<uint8_t>(os, r.idx);
+}
+
+bool
+getReg(std::istream &is, RegId &r)
+{
+    uint8_t cls, idx;
+    if (!get(is, cls) || !get(is, idx))
+        return false;
+    r.cls = static_cast<RegClass>(cls);
+    r.idx = idx;
+    return true;
+}
+
+} // namespace
+
+bool
+saveTrace(const Trace &trace, std::ostream &os)
+{
+    os.write(kMagic, sizeof(kMagic));
+    put<uint32_t>(os, static_cast<uint32_t>(trace.name().size()));
+    os.write(trace.name().data(),
+             static_cast<std::streamsize>(trace.name().size()));
+    put<uint64_t>(os, trace.size());
+
+    for (const DynInst &inst : trace) {
+        put<uint64_t>(os, inst.pc);
+        put<uint8_t>(os, static_cast<uint8_t>(inst.op));
+        putReg(os, inst.dst);
+        put<uint8_t>(os, inst.numSrc);
+        for (unsigned i = 0; i < kMaxSrcRegs; ++i)
+            putReg(os, inst.src[i]);
+        put<uint16_t>(os, inst.vl);
+        put<int64_t>(os, inst.strideBytes);
+        put<uint64_t>(os, inst.addr);
+        put<uint32_t>(os, inst.regionBytes);
+        put<uint8_t>(os, inst.elemSize);
+        put<uint8_t>(os, inst.taken ? 1 : 0);
+        put<uint64_t>(os, inst.target);
+        put<uint8_t>(os, inst.isSpill ? 1 : 0);
+    }
+    return static_cast<bool>(os);
+}
+
+bool
+saveTraceFile(const Trace &trace, const std::string &path)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        return false;
+    return saveTrace(trace, os);
+}
+
+bool
+loadTrace(Trace &out, std::istream &is)
+{
+    out = Trace();
+
+    char magic[sizeof(kMagic)];
+    if (!is.read(magic, sizeof(magic)) ||
+        std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+        return false;
+    }
+
+    uint32_t name_len;
+    if (!get(is, name_len) || name_len > (1u << 20))
+        return false;
+    std::string name(name_len, '\0');
+    if (!is.read(name.data(), name_len))
+        return false;
+    out.setName(name);
+
+    uint64_t count;
+    if (!get(is, count))
+        return false;
+    out.reserve(count);
+
+    for (uint64_t n = 0; n < count; ++n) {
+        DynInst inst;
+        uint8_t op, num_src, taken, spill, esize;
+        if (!get(is, inst.pc) || !get(is, op) ||
+            !getReg(is, inst.dst) || !get(is, num_src)) {
+            out = Trace();
+            return false;
+        }
+        inst.op = static_cast<Opcode>(op);
+        inst.numSrc = num_src;
+        for (unsigned i = 0; i < kMaxSrcRegs; ++i) {
+            if (!getReg(is, inst.src[i])) {
+                out = Trace();
+                return false;
+            }
+        }
+        if (!get(is, inst.vl) || !get(is, inst.strideBytes) ||
+            !get(is, inst.addr) || !get(is, inst.regionBytes) ||
+            !get(is, esize) || !get(is, taken) ||
+            !get(is, inst.target) || !get(is, spill)) {
+            out = Trace();
+            return false;
+        }
+        inst.elemSize = esize;
+        inst.taken = taken != 0;
+        inst.isSpill = spill != 0;
+        out.push(inst);
+    }
+    return true;
+}
+
+bool
+loadTraceFile(Trace &out, const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return false;
+    return loadTrace(out, is);
+}
+
+} // namespace oova

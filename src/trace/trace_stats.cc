@@ -1,0 +1,34 @@
+#include "trace/trace_stats.hh"
+
+namespace oova
+{
+
+TraceStats
+TraceStats::compute(const Trace &trace)
+{
+    TraceStats s;
+    for (const DynInst &inst : trace) {
+        if (inst.isVector()) {
+            ++s.vectorInsts;
+            s.vectorOps += inst.vl;
+            if (inst.isLoad()) {
+                (inst.isSpill ? s.vecSpillLoadOps : s.vecLoadOps) +=
+                    inst.vl;
+            } else if (inst.isStore()) {
+                (inst.isSpill ? s.vecSpillStoreOps : s.vecStoreOps) +=
+                    inst.vl;
+            }
+        } else {
+            ++s.scalarInsts;
+            if (inst.isLoad())
+                ++(inst.isSpill ? s.scalarSpillLoads : s.scalarLoads);
+            else if (inst.isStore())
+                ++(inst.isSpill ? s.scalarSpillStores : s.scalarStores);
+            if (inst.isBranch())
+                ++s.branches;
+        }
+    }
+    return s;
+}
+
+} // namespace oova

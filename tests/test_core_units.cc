@@ -1,0 +1,341 @@
+/**
+ * @file
+ * Unit tests for the OOOVA building blocks: BTB, return stack,
+ * physical register files (refcounts, free lists, memory tags) and
+ * the renamer (including rollback, the precise-trap mechanism).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/btb.hh"
+#include "core/physreg.hh"
+#include "core/renamer.hh"
+
+using namespace oova;
+
+// ---------------- BTB ------------------------------------------
+
+TEST(Btb, ColdPredictsNotTaken)
+{
+    Btb btb(64);
+    EXPECT_FALSE(btb.predictTaken(0x1000));
+    EXPECT_EQ(btb.predictedTarget(0x1000), 0u);
+}
+
+TEST(Btb, LearnsTakenAfterTwoUpdates)
+{
+    Btb btb(64);
+    btb.update(0x1000, true, 0x40);
+    EXPECT_TRUE(btb.predictTaken(0x1000)); // counter jumps to 2
+    EXPECT_EQ(btb.predictedTarget(0x1000), 0x40u);
+}
+
+TEST(Btb, TwoBitHysteresis)
+{
+    Btb btb(64);
+    btb.update(0x1000, true, 0x40);
+    btb.update(0x1000, true, 0x40); // counter 3
+    btb.update(0x1000, false, 0);   // counter 2: still predicts taken
+    EXPECT_TRUE(btb.predictTaken(0x1000));
+    btb.update(0x1000, false, 0); // counter 1
+    EXPECT_FALSE(btb.predictTaken(0x1000));
+}
+
+TEST(Btb, AliasingReplacesEntry)
+{
+    Btb btb(4); // tiny, forces conflicts
+    btb.update(0x10, true, 0xA);
+    // 0x10 and 0x10 + 4*4 alias in a 4-entry BTB (pc>>2 % 4).
+    Addr alias = 0x10 + 4 * 4;
+    btb.update(alias, true, 0xB);
+    EXPECT_FALSE(btb.predictTaken(0x10)); // tag mismatch -> cold
+    EXPECT_TRUE(btb.predictTaken(alias));
+}
+
+TEST(Btb, TakenBranchesSaturate)
+{
+    Btb btb(64);
+    for (int i = 0; i < 10; ++i)
+        btb.update(0x2000, true, 0x99);
+    EXPECT_TRUE(btb.predictTaken(0x2000));
+    btb.update(0x2000, false, 0);
+    EXPECT_TRUE(btb.predictTaken(0x2000)) << "saturation lost";
+}
+
+// ---------------- Return stack ----------------------------------
+
+TEST(ReturnStack, LifoOrder)
+{
+    ReturnStack ras(8);
+    ras.push(0x100);
+    ras.push(0x200);
+    EXPECT_EQ(ras.pop(), 0x200u);
+    EXPECT_EQ(ras.pop(), 0x100u);
+    EXPECT_TRUE(ras.empty());
+}
+
+TEST(ReturnStack, PopEmptyReturnsZero)
+{
+    ReturnStack ras(4);
+    EXPECT_EQ(ras.pop(), 0u);
+}
+
+TEST(ReturnStack, OverflowDropsOldest)
+{
+    ReturnStack ras(2);
+    ras.push(1);
+    ras.push(2);
+    ras.push(3); // overwrites 1
+    EXPECT_EQ(ras.size(), 2u);
+    EXPECT_EQ(ras.pop(), 3u);
+    EXPECT_EQ(ras.pop(), 2u);
+    EXPECT_EQ(ras.pop(), 0u);
+}
+
+TEST(ReturnStack, WrapsCorrectly)
+{
+    ReturnStack ras(3);
+    for (Addr a = 1; a <= 7; ++a)
+        ras.push(a);
+    EXPECT_EQ(ras.pop(), 7u);
+    EXPECT_EQ(ras.pop(), 6u);
+    EXPECT_EQ(ras.pop(), 5u);
+    EXPECT_TRUE(ras.empty());
+}
+
+// ---------------- PhysRegFile -----------------------------------
+
+TEST(PhysRegFile, InitialState)
+{
+    PhysRegFile f(16, 8);
+    EXPECT_EQ(f.size(), 16u);
+    EXPECT_EQ(f.numFree(), 8u);
+    for (int r = 0; r < 8; ++r)
+        EXPECT_EQ(f.reg(r).refCount, 1) << r;
+}
+
+TEST(PhysRegFile, AllocDrainsFreeList)
+{
+    PhysRegFile f(10, 8);
+    int a = f.alloc();
+    int b = f.alloc();
+    EXPECT_NE(a, b);
+    EXPECT_FALSE(f.hasFree());
+    EXPECT_EQ(f.reg(a).refCount, 1);
+    EXPECT_EQ(f.reg(a).fullReadyAt, kNoCycle);
+}
+
+TEST(PhysRegFile, ReleaseReturnsToFreeList)
+{
+    PhysRegFile f(10, 8);
+    int a = f.alloc();
+    f.release(a);
+    EXPECT_EQ(f.numFree(), 2u);
+    EXPECT_TRUE(f.reg(a).inFreeList);
+}
+
+TEST(PhysRegFile, RefCountingDelaysFree)
+{
+    PhysRegFile f(10, 8);
+    int a = f.alloc();
+    f.addRef(a); // two claims
+    f.release(a);
+    EXPECT_FALSE(f.reg(a).inFreeList);
+    f.release(a);
+    EXPECT_TRUE(f.reg(a).inFreeList);
+}
+
+TEST(PhysRegFile, FreedRegisterKeepsTag)
+{
+    PhysRegFile f(10, 8);
+    int a = f.alloc();
+    MemTag tag{true, 0x100, 0x200, 32, 8, 8};
+    f.reg(a).tag = tag;
+    f.release(a);
+    EXPECT_TRUE(f.reg(a).tag.valid);
+    EXPECT_EQ(f.findExactTag(tag), a);
+}
+
+TEST(PhysRegFile, AllocPrefersUntagged)
+{
+    PhysRegFile f(11, 8); // 3 free
+    int a = f.alloc();
+    int b = f.alloc();
+    int c = f.alloc();
+    f.reg(a).tag = MemTag{true, 0x0, 0x100, 32, 8, 8};
+    f.release(a);
+    f.release(b);
+    f.release(c);
+    // Next two allocations should take b and c (untagged) first.
+    int x = f.alloc();
+    int y = f.alloc();
+    EXPECT_NE(x, a);
+    EXPECT_NE(y, a);
+    int z = f.alloc(); // forced to take the tagged one
+    EXPECT_EQ(z, a);
+    EXPECT_FALSE(f.reg(z).tag.valid) << "alloc must reset the tag";
+}
+
+TEST(PhysRegFile, ReviveFromFreeList)
+{
+    PhysRegFile f(10, 8);
+    int a = f.alloc();
+    f.release(a);
+    f.reviveFromFreeList(a);
+    EXPECT_FALSE(f.reg(a).inFreeList);
+    EXPECT_EQ(f.reg(a).refCount, 1);
+    EXPECT_EQ(f.numFree(), 1u);
+}
+
+TEST(MemTag, ExactMatchSemantics)
+{
+    MemTag a{true, 0x100, 0x200, 32, 8, 8};
+    MemTag same = a;
+    MemTag diff_vl = a;
+    diff_vl.vl = 16;
+    MemTag diff_stride = a;
+    diff_stride.stride = 16;
+    MemTag invalid = a;
+    invalid.valid = false;
+    EXPECT_TRUE(a.exactMatch(same));
+    EXPECT_FALSE(a.exactMatch(diff_vl));
+    EXPECT_FALSE(a.exactMatch(diff_stride));
+    EXPECT_FALSE(a.exactMatch(invalid));
+}
+
+TEST(MemTag, OverlapSemantics)
+{
+    MemTag a{true, 0x100, 0x200, 32, 8, 8};
+    EXPECT_TRUE(a.overlaps(0x1ff, 0x300));
+    EXPECT_TRUE(a.overlaps(0x0, 0x101));
+    EXPECT_FALSE(a.overlaps(0x200, 0x300)); // half-open
+    EXPECT_FALSE(a.overlaps(0x0, 0x100));
+    MemTag inv;
+    EXPECT_FALSE(inv.overlaps(0, UINT64_MAX));
+}
+
+TEST(PhysRegFile, InvalidateOverlappingRespectsExcept)
+{
+    PhysRegFile f(12, 8);
+    int a = f.alloc(), b = f.alloc();
+    f.reg(a).tag = MemTag{true, 0x100, 0x200, 32, 8, 8};
+    f.reg(b).tag = MemTag{true, 0x180, 0x280, 32, 8, 8};
+    f.invalidateOverlapping(0x180, 0x200, a);
+    EXPECT_TRUE(f.reg(a).tag.valid); // excepted
+    EXPECT_FALSE(f.reg(b).tag.valid);
+}
+
+TEST(PhysRegFile, InvalidateAllTags)
+{
+    PhysRegFile f(12, 8);
+    int a = f.alloc();
+    f.reg(a).tag = MemTag{true, 0x100, 0x200, 32, 8, 8};
+    f.invalidateAllTags();
+    EXPECT_FALSE(f.reg(a).tag.valid);
+}
+
+// ---------------- Renamer ---------------------------------------
+
+TEST(Renamer, InitialIdentityMapping)
+{
+    Renamer ren(RenamerConfig{});
+    for (unsigned i = 0; i < kNumLogicalVRegs; ++i)
+        EXPECT_EQ(ren.mapOf(vReg(static_cast<uint8_t>(i))),
+                  static_cast<int>(i));
+}
+
+TEST(Renamer, RenameUpdatesMapAndReportsOld)
+{
+    Renamer ren(RenamerConfig{});
+    auto r1 = ren.renameDst(vReg(3));
+    EXPECT_EQ(r1.oldPhys, 3);
+    EXPECT_EQ(ren.mapOf(vReg(3)), r1.physDst);
+    auto r2 = ren.renameDst(vReg(3));
+    EXPECT_EQ(r2.oldPhys, r1.physDst);
+}
+
+TEST(Renamer, CommitReleaseRecyclesRegisters)
+{
+    RenamerConfig cfg;
+    cfg.numPhysV = 9; // one spare
+    Renamer ren(cfg);
+    auto r1 = ren.renameDst(vReg(0));
+    EXPECT_FALSE(ren.canRename(RegClass::V));
+    ren.releaseOld(RegClass::V, r1.oldPhys); // commit
+    EXPECT_TRUE(ren.canRename(RegClass::V));
+    auto r2 = ren.renameDst(vReg(1));
+    EXPECT_EQ(r2.physDst, r1.oldPhys) << "freed register reused";
+}
+
+TEST(Renamer, RollbackRestoresMapping)
+{
+    Renamer ren(RenamerConfig{});
+    auto r1 = ren.renameDst(vReg(2));
+    auto r2 = ren.renameDst(vReg(2));
+    // Undo youngest-first, as the trap recovery walk does.
+    ren.rollback(vReg(2), r2.physDst, r2.oldPhys);
+    EXPECT_EQ(ren.mapOf(vReg(2)), r1.physDst);
+    ren.rollback(vReg(2), r1.physDst, r1.oldPhys);
+    EXPECT_EQ(ren.mapOf(vReg(2)), 2);
+}
+
+TEST(Renamer, RollbackReturnsRegisterToFreeList)
+{
+    RenamerConfig cfg;
+    cfg.numPhysV = 10;
+    Renamer ren(cfg);
+    unsigned free_before = ren.file(RegClass::V).numFree();
+    auto r = ren.renameDst(vReg(0));
+    ren.rollback(vReg(0), r.physDst, r.oldPhys);
+    EXPECT_EQ(ren.file(RegClass::V).numFree(), free_before);
+}
+
+TEST(Renamer, RedirectSharesPhysicalRegister)
+{
+    Renamer ren(RenamerConfig{});
+    // Map v1 onto v0's physical register (a VLE tag hit).
+    int p0 = ren.mapOf(vReg(0));
+    auto r = ren.redirectDst(vReg(1), p0);
+    EXPECT_EQ(ren.mapOf(vReg(1)), p0);
+    EXPECT_EQ(ren.file(RegClass::V).reg(p0).refCount, 2);
+    // Committing the redirect releases only the old mapping of v1.
+    ren.releaseOld(RegClass::V, r.oldPhys);
+    EXPECT_EQ(ren.file(RegClass::V).reg(p0).refCount, 2);
+}
+
+TEST(Renamer, RedirectToFreeRegisterRevives)
+{
+    RenamerConfig cfg;
+    cfg.numPhysV = 10;
+    Renamer ren(cfg);
+    auto r1 = ren.renameDst(vReg(0));
+    ren.releaseOld(RegClass::V, r1.oldPhys); // phys 0 goes free
+    EXPECT_TRUE(ren.file(RegClass::V).reg(r1.oldPhys).inFreeList);
+    auto r2 = ren.redirectDst(vReg(1), r1.oldPhys);
+    EXPECT_FALSE(ren.file(RegClass::V).reg(r1.oldPhys).inFreeList);
+    EXPECT_EQ(ren.mapOf(vReg(1)), r1.oldPhys);
+    (void)r2;
+}
+
+TEST(Renamer, ClassesAreIndependent)
+{
+    Renamer ren(RenamerConfig{});
+    auto rv = ren.renameDst(vReg(0));
+    auto ra = ren.renameDst(aReg(0));
+    auto rs = ren.renameDst(sReg(0));
+    auto rm = ren.renameDst(mReg(0));
+    EXPECT_EQ(ren.mapOf(vReg(0)), rv.physDst);
+    EXPECT_EQ(ren.mapOf(aReg(0)), ra.physDst);
+    EXPECT_EQ(ren.mapOf(sReg(0)), rs.physDst);
+    EXPECT_EQ(ren.mapOf(mReg(0)), rm.physDst);
+}
+
+TEST(Renamer, MaskFileHasEightPhysical)
+{
+    Renamer ren(RenamerConfig{});
+    // 1 logical + 7 free = 8 physical (paper's machine parameters).
+    EXPECT_EQ(ren.file(RegClass::M).size(), 8u);
+    for (int i = 0; i < 7; ++i)
+        ren.renameDst(mReg(0));
+    EXPECT_FALSE(ren.canRename(RegClass::M));
+}

@@ -1,0 +1,335 @@
+/**
+ * @file
+ * Tests for the OOOVA simulator: out-of-order memory overlap,
+ * renaming effects, queue/ROB limits, commit models, branch
+ * prediction, and liveness/termination properties across a broad
+ * configuration sweep.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/ooosim.hh"
+#include "ref/refsim.hh"
+#include "tgen/benchmarks.hh"
+
+using namespace oova;
+
+namespace
+{
+
+OooConfig
+cfg(unsigned vregs = 16, unsigned qsize = 16, unsigned lat = 50,
+    CommitMode commit = CommitMode::Early,
+    LoadElimMode elim = LoadElimMode::None)
+{
+    OooConfig c;
+    c.lat.memLatency = lat;
+    c.numPhysVRegs = vregs;
+    c.queueSize = qsize;
+    c.commit = commit;
+    c.loadElim = elim;
+    return c;
+}
+
+Trace
+independentLoads(int n, uint16_t vl)
+{
+    Trace t("loads");
+    for (int i = 0; i < n; ++i)
+        t.push(makeVLoad(vReg(static_cast<uint8_t>(i % 8)), aReg(0),
+                         0x10000 + static_cast<Addr>(i) * 0x10000, 8,
+                         vl));
+    return t;
+}
+
+} // namespace
+
+TEST(OooSim, EmptyTrace)
+{
+    SimResult r = simulateOoo(Trace("empty"), cfg());
+    EXPECT_EQ(r.cycles, 0u);
+    EXPECT_EQ(r.instructions, 0u);
+}
+
+TEST(OooSim, CommitsEveryInstruction)
+{
+    Trace t = independentLoads(20, 32);
+    SimResult r = simulateOoo(t, cfg());
+    EXPECT_EQ(r.instructions, t.size());
+}
+
+TEST(OooSim, IndependentLoadsPipelineOnTheBus)
+{
+    // n loads of vl elements should take ~n*vl bus cycles plus one
+    // latency, not n*(latency+vl).
+    Trace t = independentLoads(8, 64);
+    SimResult r = simulateOoo(t, cfg(16, 16, 100));
+    EXPECT_LT(r.cycles, 8 * (100u + 64u));
+    EXPECT_GE(r.cycles, 8 * 64u);
+}
+
+TEST(OooSim, RenamingRemovesWawSerialization)
+{
+    // All loads write the SAME logical register: without renaming
+    // they would serialize completely; with renaming they pipeline.
+    Trace t("waw");
+    for (int i = 0; i < 8; ++i)
+        t.push(makeVLoad(vReg(0), aReg(0),
+                         0x10000 + static_cast<Addr>(i) * 0x10000, 8,
+                         64));
+    SimResult r = simulateOoo(t, cfg(16, 16, 100));
+    EXPECT_LT(r.cycles, 4 * (100u + 64u));
+}
+
+TEST(OooSim, FewPhysRegsThrottle)
+{
+    // Under late commit a register is only recycled once its
+    // redefiner completes, so 9 physical registers serialize the
+    // load stream while 64 let it pipeline.
+    Trace t("waw");
+    for (int i = 0; i < 16; ++i)
+        t.push(makeVLoad(vReg(0), aReg(0),
+                         0x10000 + static_cast<Addr>(i) * 0x10000, 8,
+                         64));
+    Cycle nine =
+        simulateOoo(t, cfg(9, 16, 100, CommitMode::Late)).cycles;
+    Cycle sixty_four =
+        simulateOoo(t, cfg(64, 16, 100, CommitMode::Late)).cycles;
+    EXPECT_GT(nine, sixty_four);
+}
+
+TEST(OooSim, MemoryDisambiguationBlocksOverlap)
+{
+    // store [0x1000..] then load [0x1000..]: the load must wait.
+    Trace t("st-ld");
+    t.push(makeVStore(vReg(0), aReg(0), 0x1000, 8, 64));
+    t.push(makeVLoad(vReg(1), aReg(0), 0x1000, 8, 64));
+    SimResult conflict = simulateOoo(t, cfg(16, 16, 50));
+
+    Trace u("st-ld-disjoint");
+    u.push(makeVStore(vReg(0), aReg(0), 0x1000, 8, 64));
+    u.push(makeVLoad(vReg(1), aReg(0), 0x90000, 8, 64));
+    SimResult disjoint = simulateOoo(u, cfg(16, 16, 50));
+    EXPECT_GE(conflict.cycles, disjoint.cycles);
+}
+
+TEST(OooSim, LoadsBypassBlockedStores)
+{
+    // A store waiting on its (slow) data must not block an
+    // independent younger load from issuing to memory.
+    Trace t("bypass");
+    t.push(makeVLoad(vReg(2), aReg(0), 0x50000, 8, 128)); // slow data
+    t.push(makeVArith(Opcode::VMul, vReg(3), vReg(2), vReg(2), 128));
+    t.push(makeVStore(vReg(3), aReg(0), 0x1000, 8, 128));
+    t.push(makeVLoad(vReg(1), aReg(0), 0x90000, 8, 64));
+    SimResult r = simulateOoo(t, cfg(16, 16, 50));
+    // If the younger load had to wait for the store, the bus would
+    // be idle for the mul's full latency; total would exceed this.
+    EXPECT_LT(r.cycles, 128u + 50u + 128u + 50u + 128u + 64u + 50u);
+}
+
+TEST(OooSim, LateCommitNeverFasterThanEarly)
+{
+    GenOptions small;
+    small.scale = 0.2;
+    for (const auto &name : benchmarkNames()) {
+        Trace t = makeBenchmarkTrace(name, small);
+        Cycle early =
+            simulateOoo(t, cfg(16, 16, 50, CommitMode::Early)).cycles;
+        Cycle late =
+            simulateOoo(t, cfg(16, 16, 50, CommitMode::Late)).cycles;
+        EXPECT_GE(late, early) << name;
+    }
+}
+
+TEST(OooSim, StoreAtHeadSerializesUnderLateCommit)
+{
+    // store then dependent-by-address load, cross iteration style.
+    Trace t("head");
+    for (int i = 0; i < 6; ++i) {
+        t.push(makeVArith(Opcode::VAdd, vReg(0), vReg(1), vReg(1),
+                          64));
+        t.push(makeVStore(vReg(0), aReg(0), 0x1000, 8, 64));
+        t.push(makeVLoad(vReg(2), aReg(0), 0x1000, 8, 64));
+    }
+    Cycle early =
+        simulateOoo(t, cfg(16, 16, 50, CommitMode::Early)).cycles;
+    Cycle late =
+        simulateOoo(t, cfg(16, 16, 50, CommitMode::Late)).cycles;
+    EXPECT_GT(late, early);
+}
+
+TEST(OooSim, QueueDepthNeverHurts)
+{
+    GenOptions small;
+    small.scale = 0.2;
+    for (const auto &name : {"swm256", "trfd", "dyfesm"}) {
+        Trace t = makeBenchmarkTrace(name, small);
+        Cycle q16 = simulateOoo(t, cfg(16, 16, 50)).cycles;
+        Cycle q128 = simulateOoo(t, cfg(16, 128, 50)).cycles;
+        EXPECT_LE(q128, q16 + q16 / 50) << name;
+    }
+}
+
+TEST(OooSim, BranchMispredictsCostCycles)
+{
+    // Alternating branch pattern defeats the 2-bit counter.
+    Trace flip("flip");
+    for (int i = 0; i < 40; ++i) {
+        flip.push(makeScalar(Opcode::SAdd, aReg(0), aReg(0)));
+        DynInst br = makeBranch(aReg(0), i % 2 == 0, 0x40);
+        br.pc = 0x100; // same static branch
+        flip.push(br);
+    }
+    Trace steady("steady");
+    for (int i = 0; i < 40; ++i) {
+        steady.push(makeScalar(Opcode::SAdd, aReg(0), aReg(0)));
+        DynInst br = makeBranch(aReg(0), true, 0x40);
+        br.pc = 0x100;
+        steady.push(br);
+    }
+    SimResult rf = simulateOoo(flip, cfg(16, 16, 1));
+    SimResult rs = simulateOoo(steady, cfg(16, 16, 1));
+    EXPECT_GT(rf.branchMispredicts, rs.branchMispredicts);
+    EXPECT_GT(rf.cycles, rs.cycles);
+}
+
+TEST(OooSim, ReturnStackPredictsCallRet)
+{
+    Trace t("callret");
+    for (int i = 0; i < 10; ++i) {
+        DynInst call = makeCall(0x1000);
+        call.pc = 0x100 + static_cast<Addr>(i) * 0x500;
+        t.push(call);
+        t.push(makeScalar(Opcode::SAdd, aReg(0), aReg(0)));
+        DynInst ret = makeRet(call.pc + 4);
+        ret.pc = 0x1000 + 0x40;
+        t.push(ret);
+    }
+    SimResult r = simulateOoo(t, cfg());
+    EXPECT_EQ(r.branchMispredicts, 0u)
+        << "returns should be predicted by the return stack";
+}
+
+TEST(OooSim, VReduceProducesScalarForDependentOp)
+{
+    Trace t("reduce");
+    DynInst red = makeVArith(Opcode::VReduce, sReg(0), vReg(0),
+                             RegId(), 64);
+    t.push(red);
+    t.push(makeScalar(Opcode::SAdd, sReg(1), sReg(0)));
+    SimResult r = simulateOoo(t, cfg(16, 16, 1));
+    EXPECT_GE(r.cycles, 64u); // reduction consumes all elements
+    EXPECT_EQ(r.instructions, 2u);
+}
+
+TEST(OooSim, ChainingAblationSlowsDependentLoads)
+{
+    Trace t("ld-use");
+    t.push(makeVLoad(vReg(0), aReg(0), 0x1000, 8, 128));
+    t.push(makeVArith(Opcode::VAdd, vReg(1), vReg(0), vReg(0), 128));
+    OooConfig chain = cfg(16, 16, 50);
+    chain.chainLoadsToFus = true;
+    OooConfig no_chain = cfg(16, 16, 50);
+    no_chain.chainLoadsToFus = false;
+    EXPECT_LT(simulateOoo(t, chain).cycles,
+              simulateOoo(t, no_chain).cycles);
+}
+
+TEST(OooSim, ReadPortSerializesSharedOperand)
+{
+    // Two independent ops read the same register: its single read
+    // port forces them apart even though FU1 and FU2 are both free.
+    Trace t("shared");
+    t.push(makeVArith(Opcode::VAdd, vReg(1), vReg(0), vReg(0), 64));
+    t.push(makeVArith(Opcode::VLogic, vReg(2), vReg(0), vReg(0), 64));
+    SimResult r = simulateOoo(t, cfg(16, 16, 1));
+    EXPECT_GE(r.cycles, 2 * 64u);
+}
+
+TEST(OooSim, CommitWidthBoundsThroughput)
+{
+    Trace t("scalars");
+    for (int i = 0; i < 200; ++i)
+        t.push(makeScalar(Opcode::SMove, sReg(0), RegId()));
+    OooConfig narrow = cfg();
+    narrow.commitWidth = 1;
+    OooConfig wide = cfg();
+    wide.commitWidth = 8;
+    EXPECT_GE(simulateOoo(t, narrow).cycles,
+              simulateOoo(t, wide).cycles);
+}
+
+// ---- the big liveness/correctness sweep -------------------------
+
+struct SweepParam
+{
+    std::string bench;
+    unsigned vregs;
+    unsigned qsize;
+    unsigned lat;
+    CommitMode commit;
+    LoadElimMode elim;
+};
+
+class OooSweep : public ::testing::TestWithParam<SweepParam>
+{
+};
+
+TEST_P(OooSweep, TerminatesAndCommitsEverything)
+{
+    const SweepParam &p = GetParam();
+    GenOptions small;
+    small.scale = 0.15;
+    Trace t = makeBenchmarkTrace(p.bench, small);
+    SimResult r = simulateOoo(
+        t, cfg(p.vregs, p.qsize, p.lat, p.commit, p.elim));
+    EXPECT_EQ(r.instructions, t.size());
+    EXPECT_GT(r.cycles, 0u);
+    // The bus can never be busier than total time.
+    EXPECT_LE(r.memBusyCycles, r.cycles);
+    // State breakdown partitions time.
+    uint64_t sum = 0;
+    for (auto v : r.stateCycles)
+        sum += v;
+    EXPECT_EQ(sum, r.cycles);
+}
+
+static std::vector<SweepParam>
+sweepParams()
+{
+    std::vector<SweepParam> out;
+    for (const char *b : {"swm256", "trfd", "dyfesm", "bdna"})
+        for (unsigned vr : {9u, 12u, 64u})
+            for (CommitMode cm : {CommitMode::Early, CommitMode::Late})
+                for (LoadElimMode le :
+                     {LoadElimMode::None, LoadElimMode::Sle,
+                      LoadElimMode::SleVle}) {
+                    out.push_back({b, vr, 16u, 50u, cm, le});
+                }
+    // Queue and latency extremes on one program.
+    for (unsigned q : {4u, 128u})
+        for (unsigned lat : {1u, 100u})
+            out.push_back({"nasa7", 16u, q, lat, CommitMode::Early,
+                           LoadElimMode::None});
+    return out;
+}
+
+static std::string
+sweepName(const ::testing::TestParamInfo<SweepParam> &info)
+{
+    const SweepParam &p = info.param;
+    std::string n = p.bench + "_r" + std::to_string(p.vregs) + "_q" +
+                    std::to_string(p.qsize) + "_l" +
+                    std::to_string(p.lat);
+    n += p.commit == CommitMode::Early ? "_early" : "_late";
+    if (p.elim == LoadElimMode::Sle)
+        n += "_sle";
+    else if (p.elim == LoadElimMode::SleVle)
+        n += "_slevle";
+    return n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, OooSweep,
+                         ::testing::ValuesIn(sweepParams()),
+                         sweepName);

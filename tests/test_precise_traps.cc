@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Tests for the precise-trap machinery (paper section 5): fault
+ * injection on loads and stores, squash + rename rollback, replay,
+ * and full-program recovery under every load-elimination mode.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/ooosim.hh"
+#include "tgen/benchmarks.hh"
+
+using namespace oova;
+
+namespace
+{
+
+OooConfig
+lateCfg(LoadElimMode elim = LoadElimMode::None)
+{
+    OooConfig c;
+    c.lat.memLatency = 50;
+    c.numPhysVRegs = 16;
+    c.commit = CommitMode::Late;
+    c.loadElim = elim;
+    return c;
+}
+
+Trace
+loopTrace()
+{
+    GenOptions small;
+    small.scale = 0.15;
+    return makeBenchmarkTrace("swm256", small);
+}
+
+SeqNum
+firstVectorLoadAfter(const Trace &t, SeqNum start)
+{
+    for (SeqNum i = start; i < t.size(); ++i)
+        if (t[i].op == Opcode::VLoad)
+            return i;
+    return kNoSeq;
+}
+
+} // namespace
+
+TEST(PreciseTraps, FaultingLoadReplaysAndCompletes)
+{
+    Trace t = loopTrace();
+    SeqNum victim = firstVectorLoadAfter(t, t.size() / 2);
+    ASSERT_NE(victim, kNoSeq);
+
+    FaultInjection fault;
+    fault.faultSeq = victim;
+    SimResult r = simulateOoo(t, lateCfg(), fault);
+    EXPECT_EQ(r.traps, 1u);
+    // Squashed instructions re-execute; every instruction commits
+    // exactly once overall.
+    EXPECT_EQ(r.instructions, t.size());
+}
+
+TEST(PreciseTraps, TrapCostsCycles)
+{
+    Trace t = loopTrace();
+    SeqNum victim = firstVectorLoadAfter(t, t.size() / 2);
+    SimResult clean = simulateOoo(t, lateCfg());
+    FaultInjection fault;
+    fault.faultSeq = victim;
+    SimResult faulted = simulateOoo(t, lateCfg(), fault);
+    EXPECT_GT(faulted.cycles, clean.cycles);
+}
+
+TEST(PreciseTraps, FaultOnStore)
+{
+    Trace t = loopTrace();
+    SeqNum victim = kNoSeq;
+    for (SeqNum i = t.size() / 3; i < t.size(); ++i)
+        if (t[i].op == Opcode::VStore) {
+            victim = i;
+            break;
+        }
+    ASSERT_NE(victim, kNoSeq);
+    FaultInjection fault;
+    fault.faultSeq = victim;
+    SimResult r = simulateOoo(t, lateCfg(), fault);
+    EXPECT_EQ(r.traps, 1u);
+    EXPECT_EQ(r.instructions, t.size());
+}
+
+TEST(PreciseTraps, FaultOnScalarLoad)
+{
+    Trace t = loopTrace();
+    SeqNum victim = kNoSeq;
+    for (SeqNum i = 10; i < t.size(); ++i)
+        if (t[i].op == Opcode::SLoad) {
+            victim = i;
+            break;
+        }
+    ASSERT_NE(victim, kNoSeq);
+    FaultInjection fault;
+    fault.faultSeq = victim;
+    SimResult r = simulateOoo(t, lateCfg(), fault);
+    EXPECT_EQ(r.traps, 1u);
+    EXPECT_EQ(r.instructions, t.size());
+}
+
+TEST(PreciseTraps, FaultOnVeryFirstMemoryOp)
+{
+    Trace t = loopTrace();
+    SeqNum victim = kNoSeq;
+    for (SeqNum i = 0; i < t.size(); ++i)
+        if (t[i].isMem()) {
+            victim = i;
+            break;
+        }
+    ASSERT_NE(victim, kNoSeq);
+    FaultInjection fault;
+    fault.faultSeq = victim;
+    SimResult r = simulateOoo(t, lateCfg(), fault);
+    EXPECT_EQ(r.traps, 1u);
+    EXPECT_EQ(r.instructions, t.size());
+}
+
+/** Recovery must work with load elimination active, too. */
+class TrapsUnderElim
+    : public ::testing::TestWithParam<LoadElimMode>
+{
+};
+
+TEST_P(TrapsUnderElim, RecoversCleanly)
+{
+    Trace t = loopTrace();
+    SeqNum victim = firstVectorLoadAfter(t, t.size() / 2);
+    FaultInjection fault;
+    fault.faultSeq = victim;
+    SimResult r = simulateOoo(t, lateCfg(GetParam()), fault);
+    EXPECT_EQ(r.traps, 1u);
+    EXPECT_EQ(r.instructions, t.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, TrapsUnderElim,
+    ::testing::Values(LoadElimMode::None, LoadElimMode::Sle,
+                      LoadElimMode::SleVle));
+
+/** Sweep fault positions through a whole small program. */
+class TrapPosition : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(TrapPosition, AnyMemoryOpCanFault)
+{
+    GenOptions tiny;
+    tiny.scale = 0.1;
+    Trace t = makeBenchmarkTrace("dyfesm", tiny);
+    // Pick the Nth memory instruction as the victim.
+    unsigned target = GetParam();
+    SeqNum victim = kNoSeq;
+    unsigned seen = 0;
+    for (SeqNum i = 0; i < t.size(); ++i) {
+        if (t[i].isMem() && seen++ == target) {
+            victim = i;
+            break;
+        }
+    }
+    ASSERT_NE(victim, kNoSeq);
+    FaultInjection fault;
+    fault.faultSeq = victim;
+    SimResult r = simulateOoo(t, lateCfg(LoadElimMode::SleVle), fault);
+    EXPECT_EQ(r.traps, 1u);
+    EXPECT_EQ(r.instructions, t.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Positions, TrapPosition,
+                         ::testing::Values(0u, 3u, 17u, 101u, 500u));
