@@ -11,94 +11,10 @@
  *   4. commit width sweep
  */
 
-#include <cstdio>
-
-#include "common/table.hh"
-#include "harness/experiment.hh"
-
-using namespace oova;
+#include "harness/figure.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    Workloads w;
-    printHeader("Ablations: chaining, queue depth, ports, commit "
-                "width",
-                w);
-
-    // 1. load->FU chaining.
-    {
-        TextTable t({"Program", "no-chain cyc", "chain cyc",
-                     "chain gain"});
-        for (const auto &name : w.names()) {
-            OooConfig base = makeOooConfig(16, 16, 50);
-            OooConfig chain = base;
-            chain.chainLoadsToFus = true;
-            SimResult a = simulateOoo(w.get(name), base);
-            SimResult b = simulateOoo(w.get(name), chain);
-            t.addRow({name, TextTable::fmt(a.cycles),
-                      TextTable::fmt(b.cycles),
-                      TextTable::fmt(speedup(a, b), 2)});
-        }
-        std::printf("-- load->FU chaining --\n%s\n", t.str().c_str());
-    }
-
-    // 2. queue depth sweep.
-    {
-        TextTable t({"Program", "q4", "q8", "q16", "q32", "q64",
-                     "q128"});
-        for (const auto &name : {"swm256", "trfd", "dyfesm", "bdna"}) {
-            const Trace &tr = w.get(name);
-            SimResult ref = simulateRef(tr, makeRefConfig(50));
-            std::vector<std::string> row{name};
-            for (unsigned q : {4u, 8u, 16u, 32u, 64u, 128u}) {
-                SimResult r = simulateOoo(tr, makeOooConfig(16, q, 50));
-                row.push_back(TextTable::fmt(speedup(ref, r), 2));
-            }
-            t.addRow(row);
-        }
-        std::printf("-- queue depth (speedup over REF) --\n%s\n",
-                    t.str().c_str());
-    }
-
-    // 3. REF banked-file port conflicts.
-    {
-        TextTable t({"Program", "compiler-sched cyc",
-                     "port-oblivious cyc", "slowdown"});
-        for (const auto &name : {"swm256", "arc2d", "su2cor"}) {
-            RefConfig off = makeRefConfig(50);
-            RefConfig on = makeRefConfig(50);
-            on.modelPortConflicts = true;
-            SimResult a = simulateRef(w.get(name), off);
-            SimResult b = simulateRef(w.get(name), on);
-            t.addRow({name, TextTable::fmt(a.cycles),
-                      TextTable::fmt(b.cycles),
-                      TextTable::fmt(speedup(a, b) > 0
-                                         ? 1.0 / speedup(a, b)
-                                         : 0.0,
-                                     2)});
-        }
-        std::printf(
-            "-- REF register-file port conflicts --\n%s\n",
-            t.str().c_str());
-    }
-
-    // 4. commit width.
-    {
-        TextTable t({"Program", "w1", "w2", "w4", "w8"});
-        for (const auto &name : {"tomcatv", "dyfesm"}) {
-            const Trace &tr = w.get(name);
-            std::vector<std::string> row{name};
-            for (unsigned cw : {1u, 2u, 4u, 8u}) {
-                OooConfig c = makeOooConfig(16, 16, 50);
-                c.commitWidth = cw;
-                row.push_back(
-                    TextTable::fmt(simulateOoo(tr, c).cycles));
-            }
-            t.addRow(row);
-        }
-        std::printf("-- commit width (cycles) --\n%s\n",
-                    t.str().c_str());
-    }
-    return 0;
+    return oova::runFigureMain("abl", argc, argv);
 }

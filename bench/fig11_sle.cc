@@ -7,41 +7,10 @@
  * machine overlap ("dynamically unroll") more iterations.
  */
 
-#include <cstdio>
-
-#include "common/table.hh"
-#include "harness/experiment.hh"
-
-using namespace oova;
+#include "harness/figure.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    Workloads w;
-    printHeader("Figure 11: SLE speedup over late-commit OOOVA", w);
-
-    const unsigned regs[] = {16, 32, 64};
-    TextTable table({"Program", "16r", "32r", "64r", "sElims@32"});
-    for (const auto &name : w.names()) {
-        const Trace &t = w.get(name);
-        std::vector<std::string> row{name};
-        uint64_t elims = 0;
-        for (unsigned r : regs) {
-            SimResult base = simulateOoo(
-                t, makeOooConfig(r, 16, 50, CommitMode::Late));
-            SimResult sle = simulateOoo(
-                t, makeOooConfig(r, 16, 50, CommitMode::Late,
-                                 LoadElimMode::Sle));
-            if (r == 32)
-                elims = sle.scalarLoadsEliminated;
-            row.push_back(TextTable::fmt(speedup(base, sle), 2));
-        }
-        row.push_back(TextTable::fmt(elims));
-        table.addRow(row);
-        std::fflush(stdout);
-    }
-    std::printf("%s\n", table.str().c_str());
-    std::printf("(paper: <1.05 for most programs; 1.30/1.36 for "
-                "trfd/dyfesm at 32 regs)\n");
-    return 0;
+    return oova::runFigureMain("fig11", argc, argv);
 }

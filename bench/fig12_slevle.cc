@@ -9,46 +9,10 @@
  * registers add little except tomcatv (1.19 -> 1.40).
  */
 
-#include <cstdio>
-
-#include "common/table.hh"
-#include "harness/experiment.hh"
-
-using namespace oova;
+#include "harness/figure.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    Workloads w;
-    printHeader("Figure 12: SLE+VLE speedup over late-commit OOOVA",
-                w);
-
-    const unsigned regs[] = {16, 32, 64};
-    TextTable table(
-        {"Program", "16r", "32r", "64r", "vElims@32", "sElims@32"});
-    for (const auto &name : w.names()) {
-        const Trace &t = w.get(name);
-        std::vector<std::string> row{name};
-        uint64_t velims = 0, selims = 0;
-        for (unsigned r : regs) {
-            SimResult base = simulateOoo(
-                t, makeOooConfig(r, 16, 50, CommitMode::Late));
-            SimResult vle = simulateOoo(
-                t, makeOooConfig(r, 16, 50, CommitMode::Late,
-                                 LoadElimMode::SleVle));
-            if (r == 32) {
-                velims = vle.vectorLoadsEliminated;
-                selims = vle.scalarLoadsEliminated;
-            }
-            row.push_back(TextTable::fmt(speedup(base, vle), 2));
-        }
-        row.push_back(TextTable::fmt(velims));
-        row.push_back(TextTable::fmt(selims));
-        table.addRow(row);
-        std::fflush(stdout);
-    }
-    std::printf("%s\n", table.str().c_str());
-    std::printf("(paper: 1.04-1.16 typical at 16 regs, up to 2.13 "
-                "trfd; 1.10-1.20 at 32 regs)\n");
-    return 0;
+    return oova::runFigureMain("fig12", argc, argv);
 }

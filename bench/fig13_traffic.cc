@@ -9,45 +9,10 @@
  * programs and up to 40% for trfd/dyfesm.
  */
 
-#include <cstdio>
-
-#include "common/table.hh"
-#include "harness/experiment.hh"
-
-using namespace oova;
+#include "harness/figure.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    Workloads w;
-    printHeader("Figure 13: traffic reduction at 32 registers", w);
-
-    TextTable table({"Program", "base reqs", "SLE reqs",
-                     "SLE+VLE reqs", "SLE red%", "SLE+VLE red%"});
-    for (const auto &name : w.names()) {
-        const Trace &t = w.get(name);
-        SimResult base = simulateOoo(
-            t, makeOooConfig(32, 16, 50, CommitMode::Late));
-        SimResult sle = simulateOoo(
-            t, makeOooConfig(32, 16, 50, CommitMode::Late,
-                             LoadElimMode::Sle));
-        SimResult vle = simulateOoo(
-            t, makeOooConfig(32, 16, 50, CommitMode::Late,
-                             LoadElimMode::SleVle));
-        auto reduction = [&](const SimResult &x) {
-            return 100.0 * (1.0 - static_cast<double>(x.memRequests) /
-                                      static_cast<double>(
-                                          base.memRequests));
-        };
-        table.addRow({name, TextTable::fmt(base.memRequests),
-                      TextTable::fmt(sle.memRequests),
-                      TextTable::fmt(vle.memRequests),
-                      TextTable::fmt(reduction(sle), 1),
-                      TextTable::fmt(reduction(vle), 1)});
-        std::fflush(stdout);
-    }
-    std::printf("%s\n", table.str().c_str());
-    std::printf("(paper: 15-20%% typical reduction, up to 40%% for "
-                "trfd/dyfesm)\n");
-    return 0;
+    return oova::runFigureMain("fig13", argc, argv);
 }

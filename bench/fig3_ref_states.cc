@@ -5,53 +5,15 @@
  * (FU2, FU1, MEM) of busy units; the paper plots the time in each of
  * the 8 states for memory latencies 1, 20, 70 and 100 (hydro2d and
  * dyfesm shown there; we print all ten programs).
+ *
+ * Paper's observations: few cycles at the peak state <FU2,FU1,MEM>;
+ * the all-idle state < , , > grows with memory latency.
  */
 
-#include <cstdio>
-
-#include "common/stats.hh"
-#include "common/table.hh"
-#include "harness/experiment.hh"
-
-using namespace oova;
+#include "harness/figure.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    Workloads w;
-    printHeader("Figure 3: REF execution-state breakdown", w);
-
-    const unsigned lats[] = {1, 20, 70, 100};
-    for (const auto &name : w.names()) {
-        std::printf("--- %s ---\n", name.c_str());
-        std::vector<std::string> hdr{"State"};
-        for (unsigned l : lats)
-            hdr.push_back("lat" + std::to_string(l) + " (%)");
-        TextTable table(hdr);
-
-        std::array<SimResult, 4> res;
-        for (size_t i = 0; i < 4; ++i)
-            res[i] = simulateRef(w.get(name), makeRefConfig(lats[i]));
-
-        for (int st = UnitStateBreakdown::kNumStates - 1; st >= 0;
-             --st) {
-            std::vector<std::string> row{
-                UnitStateBreakdown::stateName(st)};
-            for (size_t i = 0; i < 4; ++i) {
-                double pct = 100.0 *
-                             static_cast<double>(res[i].stateCycles[st]) /
-                             static_cast<double>(res[i].cycles);
-                row.push_back(TextTable::fmt(pct, 1));
-            }
-            table.addRow(row);
-        }
-        std::vector<std::string> tot{"total cycles"};
-        for (size_t i = 0; i < 4; ++i)
-            tot.push_back(TextTable::fmt(res[i].cycles));
-        table.addRow(tot);
-        std::printf("%s\n", table.str().c_str());
-    }
-    std::printf("(paper: few cycles at peak state <FU2,FU1,MEM>; "
-                "idle state < , , > grows with latency)\n");
-    return 0;
+    return oova::runFigureMain("fig3", argc, argv);
 }

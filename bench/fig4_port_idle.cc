@@ -7,34 +7,10 @@
  * memory port busy.
  */
 
-#include <cstdio>
-
-#include "common/table.hh"
-#include "harness/experiment.hh"
-
-using namespace oova;
+#include "harness/figure.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    Workloads w;
-    printHeader("Figure 4: REF memory-port idle cycles", w);
-
-    const unsigned lats[] = {1, 20, 70, 100};
-    TextTable table(
-        {"Program", "lat1", "lat20", "lat70", "lat100"});
-    for (const auto &name : w.names()) {
-        const Trace &t = w.get(name);
-        std::vector<std::string> row{name};
-        for (unsigned l : lats) {
-            SimResult r = simulateRef(t, makeRefConfig(l));
-            row.push_back(
-                TextTable::fmt(100.0 * r.portIdleFraction(), 1));
-        }
-        table.addRow(row);
-    }
-    std::printf("%s\n", table.str().c_str());
-    std::printf("(paper: 30-65%% idle at latency 70; all ten "
-                "programs are memory bound)\n");
-    return 0;
+    return oova::runFigureMain("fig4", argc, argv);
 }

@@ -11,45 +11,10 @@
  * queues add little.
  */
 
-#include <cstdio>
-
-#include "common/table.hh"
-#include "harness/experiment.hh"
-
-using namespace oova;
+#include "harness/figure.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    Workloads w;
-    printHeader("Figure 5: OOOVA speedup vs physical vector registers",
-                w);
-
-    const unsigned regs[] = {9, 12, 16, 32, 64};
-
-    TextTable table({"Program", "q16/9r", "q16/12r", "q16/16r",
-                     "q16/32r", "q16/64r", "q128/16r", "q128/64r",
-                     "IDEAL"});
-    for (const auto &name : w.names()) {
-        const Trace &t = w.get(name);
-        SimResult ref = simulateRef(t, makeRefConfig(50));
-        std::vector<std::string> row{name};
-        for (unsigned r : regs) {
-            SimResult ooo = simulateOoo(t, makeOooConfig(r, 16, 50));
-            row.push_back(TextTable::fmt(speedup(ref, ooo), 2));
-        }
-        for (unsigned r : {16u, 64u}) {
-            SimResult ooo = simulateOoo(t, makeOooConfig(r, 128, 50));
-            row.push_back(TextTable::fmt(speedup(ref, ooo), 2));
-        }
-        double ideal = static_cast<double>(ref.cycles) /
-                       static_cast<double>(idealCycles(t));
-        row.push_back(TextTable::fmt(ideal, 2));
-        table.addRow(row);
-        std::fflush(stdout);
-    }
-    std::printf("%s\n", table.str().c_str());
-    std::printf("(paper: 1.24-1.72 at 16 regs; 12 regs nearly as "
-                "good; queues 128 ~ queues 16)\n");
-    return 0;
+    return oova::runFigureMain("fig5", argc, argv);
 }

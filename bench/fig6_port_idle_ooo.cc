@@ -7,31 +7,10 @@
  * less than 20% of the time."
  */
 
-#include <cstdio>
-
-#include "common/table.hh"
-#include "harness/experiment.hh"
-
-using namespace oova;
+#include "harness/figure.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    Workloads w;
-    printHeader("Figure 6: memory-port idle, REF vs OOOVA", w);
-
-    TextTable table({"Program", "REF idle%", "OOOVA idle%"});
-    for (const auto &name : w.names()) {
-        const Trace &t = w.get(name);
-        SimResult ref = simulateRef(t, makeRefConfig(50));
-        SimResult ooo = simulateOoo(t, makeOooConfig(16, 16, 50));
-        table.addRow({name,
-                      TextTable::fmt(100.0 * ref.portIdleFraction(), 1),
-                      TextTable::fmt(100.0 * ooo.portIdleFraction(),
-                                     1)});
-    }
-    std::printf("%s\n", table.str().c_str());
-    std::printf("(paper: OOOVA cuts idle cycles by more than half in "
-                "most cases)\n");
-    return 0;
+    return oova::runFigureMain("fig6", argc, argv);
 }

@@ -7,48 +7,10 @@
  * relatively more frequent.
  */
 
-#include <cstdio>
-
-#include "common/stats.hh"
-#include "common/table.hh"
-#include "harness/experiment.hh"
-
-using namespace oova;
+#include "harness/figure.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    Workloads w;
-    printHeader("Figure 7: execution-state breakdown, REF vs OOOVA",
-                w);
-
-    for (const auto &name : w.names()) {
-        const Trace &t = w.get(name);
-        SimResult ref = simulateRef(t, makeRefConfig(50));
-        SimResult ooo = simulateOoo(t, makeOooConfig(16, 16, 50));
-
-        std::printf("--- %s ---\n", name.c_str());
-        TextTable table({"State", "REF %", "OOOVA %"});
-        for (int st = UnitStateBreakdown::kNumStates - 1; st >= 0;
-             --st) {
-            table.addRow(
-                {UnitStateBreakdown::stateName(st),
-                 TextTable::fmt(100.0 *
-                                    static_cast<double>(
-                                        ref.stateCycles[st]) /
-                                    static_cast<double>(ref.cycles),
-                                1),
-                 TextTable::fmt(100.0 *
-                                    static_cast<double>(
-                                        ooo.stateCycles[st]) /
-                                    static_cast<double>(ooo.cycles),
-                                1)});
-        }
-        table.addRow({"total cycles", TextTable::fmt(ref.cycles),
-                      TextTable::fmt(ooo.cycles)});
-        std::printf("%s\n", table.str().c_str());
-    }
-    std::printf("(paper: the all-idle state < , , > almost "
-                "disappears on the OOOVA)\n");
-    return 0;
+    return oova::runFigureMain("fig7", argc, argv);
 }

@@ -8,53 +8,10 @@
  * latency 1.
  */
 
-#include <cstdio>
-
-#include "common/table.hh"
-#include "harness/experiment.hh"
-
-using namespace oova;
+#include "harness/figure.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    Workloads w;
-    printHeader("Figure 8: tolerance of main-memory latency", w);
-
-    const unsigned lats[] = {1, 50, 100};
-    TextTable table({"Program", "REF@1", "REF@50", "REF@100",
-                     "OOO@1", "OOO@50", "OOO@100", "IDEAL",
-                     "OOO 100/1", "spdup@1"});
-    for (const auto &name : w.names()) {
-        const Trace &t = w.get(name);
-        std::vector<std::string> row{name};
-        Cycle ref1 = 0, ooo1 = 0, ooo100 = 0;
-        for (unsigned l : lats) {
-            SimResult r = simulateRef(t, makeRefConfig(l));
-            if (l == 1)
-                ref1 = r.cycles;
-            row.push_back(TextTable::fmt(r.cycles));
-        }
-        for (unsigned l : lats) {
-            SimResult r = simulateOoo(t, makeOooConfig(16, 16, l));
-            if (l == 1)
-                ooo1 = r.cycles;
-            if (l == 100)
-                ooo100 = r.cycles;
-            row.push_back(TextTable::fmt(r.cycles));
-        }
-        row.push_back(TextTable::fmt(idealCycles(t)));
-        row.push_back(TextTable::fmt(
-            static_cast<double>(ooo100) / static_cast<double>(ooo1),
-            2));
-        row.push_back(TextTable::fmt(
-            static_cast<double>(ref1) / static_cast<double>(ooo1),
-            2));
-        table.addRow(row);
-        std::fflush(stdout);
-    }
-    std::printf("%s\n", table.str().c_str());
-    std::printf("(paper: OOOVA flat across 1..100 cycles; speedup "
-                "1.15-1.25 even at latency 1)\n");
-    return 0;
+    return oova::runFigureMain("fig8", argc, argv);
 }

@@ -11,50 +11,10 @@
  * commit.
  */
 
-#include <cstdio>
-
-#include "common/table.hh"
-#include "harness/experiment.hh"
-
-using namespace oova;
+#include "harness/figure.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    Workloads w;
-    printHeader("Figure 9: early vs late commit (precise traps)", w);
-
-    const unsigned regs[] = {9, 12, 16, 32, 64};
-    TextTable table({"Program", "e/9r", "e/16r", "e/64r", "l/9r",
-                     "l/12r", "l/16r", "l/32r", "l/64r",
-                     "late/early@16"});
-    for (const auto &name : w.names()) {
-        const Trace &t = w.get(name);
-        SimResult ref = simulateRef(t, makeRefConfig(50));
-        std::vector<std::string> row{name};
-        double early16 = 0, late16 = 0;
-        for (unsigned r : {9u, 16u, 64u}) {
-            SimResult ooo = simulateOoo(
-                t, makeOooConfig(r, 16, 50, CommitMode::Early));
-            double s = speedup(ref, ooo);
-            if (r == 16)
-                early16 = s;
-            row.push_back(TextTable::fmt(s, 2));
-        }
-        for (unsigned r : regs) {
-            SimResult ooo = simulateOoo(
-                t, makeOooConfig(r, 16, 50, CommitMode::Late));
-            double s = speedup(ref, ooo);
-            if (r == 16)
-                late16 = s;
-            row.push_back(TextTable::fmt(s, 2));
-        }
-        row.push_back(TextTable::fmt(late16 / early16, 2));
-        table.addRow(row);
-        std::fflush(stdout);
-    }
-    std::printf("%s\n", table.str().c_str());
-    std::printf("(paper: late commit costs <10%% for eight programs "
-                "but 41%%/47%% for trfd/dyfesm)\n");
-    return 0;
+    return oova::runFigureMain("fig9", argc, argv);
 }

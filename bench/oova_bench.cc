@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unified figure driver: run any paper table/figure (or all of
+ * them) by name through the parallel sweep engine.
+ *
+ *   oova_bench --list
+ *   oova_bench fig5 --threads 8
+ *   oova_bench all --json > BENCH_all.json
+ *
+ * Trace scale comes from OOVA_SCALE or --scale; --json emits the
+ * machine-readable result tables used to track the perf trajectory
+ * across PRs.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "harness/figure.hh"
+
+using namespace oova;
+
+namespace
+{
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s <figure>|all|--list [--threads N] "
+                 "[--json] [--scale S]\n",
+                 argv0);
+    std::fprintf(stderr, "figures:\n");
+    for (const auto &fig : figureRegistry())
+        std::fprintf(stderr, "  %-8s  %s\n", fig.name, fig.title);
+    return 2;
+}
+
+void
+list()
+{
+    for (const auto &fig : figureRegistry())
+        std::printf("%-8s  %s\n", fig.name, fig.title);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string which;
+    FigureOptions opts;
+    opts.scale = envTraceScale();
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        int r = parseCommonFlag(argc, argv, i, opts);
+        if (r < 0)
+            return 2;
+        if (r == 1)
+            continue;
+        if (std::strcmp(arg, "--list") == 0) {
+            list();
+            return 0;
+        } else if (arg[0] == '-') {
+            return usage(argv[0]);
+        } else if (which.empty()) {
+            which = arg;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+    if (which.empty())
+        return usage(argv[0]);
+
+    std::vector<const FigureDef *> figs;
+    if (which == "all") {
+        for (const auto &fig : figureRegistry())
+            figs.push_back(&fig);
+    } else {
+        const FigureDef *fig = findFigure(which);
+        if (!fig) {
+            std::fprintf(stderr, "unknown figure '%s'\n",
+                         which.c_str());
+            return usage(argv[0]);
+        }
+        figs.push_back(fig);
+    }
+
+    // One cache and one engine shared across figures, so `all` only
+    // generates each trace once.
+    TraceCache traces(opts.scale);
+    SweepEngine engine(traces, opts.threads);
+
+    if (opts.json)
+        std::printf("[\n");
+    for (size_t i = 0; i < figs.size(); ++i) {
+        FigureResult result = figs[i]->fn(engine);
+        std::string out =
+            opts.json
+                ? renderFigureJson(*figs[i], result, traces.scale(),
+                                   engine.threads())
+                : renderFigureText(*figs[i], result, traces.scale());
+        std::fputs(out.c_str(), stdout);
+        if (opts.json && i + 1 < figs.size())
+            std::printf(",\n");
+        std::fflush(stdout);
+    }
+    if (opts.json)
+        std::printf("]\n");
+    return 0;
+}

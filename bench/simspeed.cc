@@ -2,13 +2,18 @@
  * @file
  * Simulator-throughput microbenchmarks (google-benchmark): how many
  * simulated instructions per second each model sustains, plus the
- * cost of trace generation. These guard against performance
- * regressions in the simulators themselves.
+ * cost of trace generation and of a whole sweep batch through the
+ * parallel sweep engine. These guard against performance regressions
+ * in the simulators and in the sweep path every figure runs on.
+ * (For a quick table without google-benchmark, run
+ * `oova_bench simspeed`.)
  */
 
 #include <benchmark/benchmark.h>
 
 #include "core/ooosim.hh"
+#include "harness/experiment.hh"
+#include "harness/sweep.hh"
 #include "ref/refsim.hh"
 #include "tgen/benchmarks.hh"
 
@@ -17,15 +22,17 @@ using namespace oova;
 namespace
 {
 
+const TraceCache &
+sharedTraces()
+{
+    static TraceCache cache(0.5);
+    return cache;
+}
+
 const Trace &
 cachedTrace()
 {
-    static Trace t = [] {
-        GenOptions o;
-        o.scale = 0.5;
-        return makeBenchmarkTrace("hydro2d", o);
-    }();
-    return t;
+    return sharedTraces().get("hydro2d");
 }
 
 } // namespace
@@ -90,5 +97,31 @@ BM_OooSimLoadElim(benchmark::State &state)
         static_cast<int64_t>(state.iterations() * t.size()));
 }
 BENCHMARK(BM_OooSimLoadElim);
+
+/**
+ * A whole figure-sized batch through the sweep engine: all ten
+ * benchmarks on the default OOOVA, with the thread count as the
+ * benchmark argument.
+ */
+static void
+BM_SweepEngine(benchmark::State &state)
+{
+    const TraceCache &traces = sharedTraces();
+    SweepEngine engine(traces,
+                       static_cast<unsigned>(state.range(0)));
+    std::vector<SweepJob> jobs;
+    uint64_t elems = 0;
+    for (const auto &name : traces.names()) {
+        jobs.push_back(oooJob(name, makeOooConfig(16, 16, 50)));
+        elems += traces.get(name).size();
+    }
+    for (auto _ : state) {
+        std::vector<SimResult> res = engine.run(jobs);
+        benchmark::DoNotOptimize(res);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * elems));
+}
+BENCHMARK(BM_SweepEngine)->Arg(1)->Arg(4);
 
 BENCHMARK_MAIN();

@@ -7,40 +7,10 @@
  * are on record.
  */
 
-#include <cstdio>
-
-#include "common/table.hh"
-#include "isa/latency.hh"
-
-using namespace oova;
+#include "harness/figure.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    LatencyTable ref = LatencyTable::refDefaults();
-    LatencyTable ooo = LatencyTable::oooDefaults();
-
-    std::printf("== Table 1: functional unit latencies (cycles) ==\n\n");
-    TextTable table({"Parameter", "REF", "OOOVA"});
-    auto row = [&](const char *name, unsigned a, unsigned b) {
-        table.addRow({name, TextTable::fmt(uint64_t(a)),
-                      TextTable::fmt(uint64_t(b))});
-    };
-    row("read x-bar", ref.readXbar, ooo.readXbar);
-    row("write x-bar (vector)", ref.writeXbarVector,
-        ooo.writeXbarVector);
-    row("write x-bar (scalar)", ref.writeXbarScalar,
-        ooo.writeXbarScalar);
-    row("vector startup (*)", ref.vectorStartup, ooo.vectorStartup);
-    row("move", ref.moveLat, ooo.moveLat);
-    row("add/logic/shift", ref.addLogic, ooo.addLogic);
-    row("mul", ref.mul, ooo.mul);
-    row("div/sqrt", ref.divSqrt, ooo.divSqrt);
-    row("memory (default, swept)", ref.memLatency, ooo.memLatency);
-    row("branch mispredict", ref.branchMispredict,
-        ooo.branchMispredict);
-    std::printf("%s\n", table.str().c_str());
-    std::printf("(*) as in the paper's footnote: 0 in OOOVA, 1 in "
-                "REF.\n");
-    return 0;
+    return oova::runFigureMain("tab1", argc, argv);
 }

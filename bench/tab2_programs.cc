@@ -6,34 +6,10 @@
  * synthetic traces (the paper's are from Convex C3480 runs).
  */
 
-#include <cstdio>
-
-#include "common/table.hh"
-#include "harness/experiment.hh"
-#include "trace/trace_stats.hh"
-
-using namespace oova;
+#include "harness/figure.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    Workloads w;
-    printHeader("Table 2: basic operation counts", w);
-
-    TextTable table({"Program", "#Scalar", "#Vector", "#VecOps",
-                     "%Vect", "AvgVL"});
-    for (const auto &name : w.names()) {
-        const Trace &t = w.get(name);
-        TraceStats s = TraceStats::compute(t);
-        table.addRow({name, TextTable::fmt(s.scalarInsts),
-                      TextTable::fmt(s.vectorInsts),
-                      TextTable::fmt(s.vectorOps),
-                      TextTable::fmt(s.vectorization(), 1),
-                      TextTable::fmt(s.avgVectorLength(), 1)});
-    }
-    std::printf("%s\n", table.str().c_str());
-    std::printf("(paper, for reference: >=70%% vectorization for all "
-                "ten; swm256 99.9%% / VL 127; tomcatv most scalar "
-                "instructions)\n");
-    return 0;
+    return oova::runFigureMain("tab2", argc, argv);
 }

@@ -6,36 +6,10 @@
  * traffic is spill traffic.
  */
 
-#include <cstdio>
-
-#include "common/table.hh"
-#include "harness/experiment.hh"
-#include "trace/trace_stats.hh"
-
-using namespace oova;
+#include "harness/figure.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    Workloads w;
-    printHeader("Table 3: vector memory spill operations", w);
-
-    TextTable table({"Program", "VLoad", "VLoadSpill", "VStore",
-                     "VStoreSpill", "Spill%", "SLoadSpill",
-                     "SStoreSpill"});
-    for (const auto &name : w.names()) {
-        TraceStats s = TraceStats::compute(w.get(name));
-        table.addRow(
-            {name, TextTable::fmt(s.vecLoadOps),
-             TextTable::fmt(s.vecSpillLoadOps),
-             TextTable::fmt(s.vecStoreOps),
-             TextTable::fmt(s.vecSpillStoreOps),
-             TextTable::fmt(100.0 * s.spillTrafficFraction(), 1),
-             TextTable::fmt(s.scalarSpillLoads),
-             TextTable::fmt(s.scalarSpillStores)});
-    }
-    std::printf("%s\n", table.str().c_str());
-    std::printf("(paper: several programs have large spill traffic; "
-                "bdna over 69%% of total)\n");
-    return 0;
+    return oova::runFigureMain("tab3", argc, argv);
 }

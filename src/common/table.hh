@@ -32,6 +32,12 @@ class TextTable
     size_t numRows() const { return rows_.size(); }
     size_t numCols() const { return headers_.size(); }
 
+    const std::vector<std::string> &headers() const { return headers_; }
+    const std::vector<std::vector<std::string>> &rows() const
+    {
+        return rows_;
+    }
+
     /** Format a double with fixed precision. */
     static std::string fmt(double v, int precision = 2);
 

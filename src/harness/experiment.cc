@@ -1,50 +1,30 @@
 #include "harness/experiment.hh"
 
-#include <cstdio>
-#include <cstdlib>
+#include <cmath>
 
 #include "common/logging.hh"
 
 namespace oova
 {
 
-Workloads::Workloads(double scale) : scale_(scale)
-{
-    sim_assert(scale > 0.0, "non-positive trace scale");
-}
+Workloads::Workloads(double scale) : cache_(scale) {}
 
 const Trace &
 Workloads::get(const std::string &name)
 {
-    auto it = cache_.find(name);
-    if (it != cache_.end())
-        return it->second;
-    GenOptions opts;
-    opts.scale = scale_;
-    auto [pos, inserted] =
-        cache_.emplace(name, makeBenchmarkTrace(name, opts));
-    (void)inserted;
-    return pos->second;
+    return cache_.get(name);
 }
 
 const std::vector<std::string> &
 Workloads::names() const
 {
-    return benchmarkNames();
+    return cache_.names();
 }
 
 double
 Workloads::envScale()
 {
-    const char *env = std::getenv("OOVA_SCALE");
-    if (!env)
-        return 1.0;
-    double v = std::atof(env);
-    if (v <= 0.0) {
-        warn("ignoring bad OOVA_SCALE '%s'", env);
-        return 1.0;
-    }
-    return v;
+    return envTraceScale();
 }
 
 RefConfig
@@ -75,17 +55,9 @@ double
 speedup(const SimResult &base, const SimResult &x)
 {
     if (x.cycles == 0)
-        return 0.0;
+        return std::nan("");
     return static_cast<double>(base.cycles) /
            static_cast<double>(x.cycles);
-}
-
-void
-printHeader(const std::string &title, const Workloads &w)
-{
-    std::printf("== %s ==\n", title.c_str());
-    std::printf("trace scale: %.2f (set OOVA_SCALE to change)\n\n",
-                w.scale());
 }
 
 } // namespace oova

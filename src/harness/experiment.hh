@@ -8,13 +8,13 @@
 #ifndef OOVA_HARNESS_EXPERIMENT_HH
 #define OOVA_HARNESS_EXPERIMENT_HH
 
-#include <map>
 #include <string>
 #include <vector>
 
 #include "core/config.hh"
 #include "core/ideal.hh"
 #include "core/ooosim.hh"
+#include "harness/tracecache.hh"
 #include "ref/refsim.hh"
 #include "tgen/benchmarks.hh"
 
@@ -25,6 +25,12 @@ namespace oova
  * Generates and caches the ten benchmark traces. The trace scale can
  * be adjusted with the OOVA_SCALE environment variable (default 1.0)
  * to trade bench runtime against steady-state fidelity.
+ *
+ * A thin wrapper over TraceCache, kept for the single-threaded
+ * call sites and tests; references returned by get() are stable for
+ * the lifetime of the Workloads object (the cache pre-creates every
+ * entry, so no lookup ever reallocates another trace's storage),
+ * and get() is safe to call concurrently.
  */
 class Workloads
 {
@@ -37,14 +43,13 @@ class Workloads
     /** All ten, in the paper's order. */
     const std::vector<std::string> &names() const;
 
-    double scale() const { return scale_; }
+    double scale() const { return cache_.scale(); }
 
     /** Scale from OOVA_SCALE, or 1.0. */
     static double envScale();
 
   private:
-    double scale_;
-    std::map<std::string, Trace> cache_;
+    TraceCache cache_;
 };
 
 /** Reference machine at a given memory latency. */
@@ -57,11 +62,13 @@ OooConfig makeOooConfig(unsigned phys_vregs = 16,
                         CommitMode commit = CommitMode::Early,
                         LoadElimMode elim = LoadElimMode::None);
 
-/** base.cycles / x.cycles — how much faster x is than base. */
+/**
+ * base.cycles / x.cycles — how much faster x is than base. A result
+ * with x.cycles == 0 can only come from a broken simulation, so the
+ * degenerate case returns NaN (rendered as "nan" in tables) instead
+ * of a value that could be mistaken for a measurement.
+ */
 double speedup(const SimResult &base, const SimResult &x);
-
-/** Print a banner naming the experiment and the trace scale. */
-void printHeader(const std::string &title, const Workloads &w);
 
 } // namespace oova
 

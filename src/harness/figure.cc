@@ -1,0 +1,192 @@
+#include "harness/figure.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace oova
+{
+
+const FigureDef *
+findFigure(const std::string &name)
+{
+    for (const auto &fig : figureRegistry())
+        if (name == fig.name || name == fig.binary)
+            return &fig;
+    return nullptr;
+}
+
+std::string
+renderFigureText(const FigureDef &fig, const FigureResult &result,
+                 double scale)
+{
+    std::ostringstream os;
+    os << "== " << fig.title << " ==\n";
+    if (result.showScale)
+        os << csprintf("trace scale: %.2f (set OOVA_SCALE to "
+                       "change)\n",
+                       scale);
+    os << "\n";
+    for (const auto &sec : result.sections) {
+        if (!sec.heading.empty())
+            os << sec.heading << "\n";
+        os << sec.table.str() << "\n";
+    }
+    if (!result.footnote.empty())
+        os << result.footnote << "\n";
+    return os.str();
+}
+
+namespace
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += csprintf("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+void
+jsonStringArray(std::ostringstream &os,
+                const std::vector<std::string> &items)
+{
+    os << "[";
+    for (size_t i = 0; i < items.size(); ++i) {
+        if (i)
+            os << ",";
+        os << "\"" << jsonEscape(items[i]) << "\"";
+    }
+    os << "]";
+}
+
+} // namespace
+
+std::string
+renderFigureJson(const FigureDef &fig, const FigureResult &result,
+                 double scale, unsigned threads)
+{
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"figure\": \"" << jsonEscape(fig.name) << "\",\n";
+    os << "  \"title\": \"" << jsonEscape(fig.title) << "\",\n";
+    os << "  \"scale\": " << scale << ",\n";
+    os << "  \"threads\": " << threads << ",\n";
+    os << "  \"sections\": [\n";
+    for (size_t s = 0; s < result.sections.size(); ++s) {
+        const auto &sec = result.sections[s];
+        os << "    {\n";
+        os << "      \"heading\": \"" << jsonEscape(sec.heading)
+           << "\",\n";
+        os << "      \"headers\": ";
+        jsonStringArray(os, sec.table.headers());
+        os << ",\n";
+        os << "      \"rows\": [\n";
+        const auto &rows = sec.table.rows();
+        for (size_t r = 0; r < rows.size(); ++r) {
+            os << "        ";
+            jsonStringArray(os, rows[r]);
+            os << (r + 1 < rows.size() ? ",\n" : "\n");
+        }
+        os << "      ]\n";
+        os << "    }" << (s + 1 < result.sections.size() ? ",\n" : "\n");
+    }
+    os << "  ]\n";
+    os << "}\n";
+    return os.str();
+}
+
+int
+parseCommonFlag(int argc, char **argv, int &i, FigureOptions &opts)
+{
+    const char *arg = argv[i];
+    if (std::strcmp(arg, "--json") == 0) {
+        opts.json = true;
+        return 1;
+    }
+    if (std::strcmp(arg, "--threads") == 0 && i + 1 < argc) {
+        char *end = nullptr;
+        opts.threads = static_cast<unsigned>(
+            std::strtoul(argv[++i], &end, 10));
+        if (end == argv[i] || *end != '\0') {
+            std::fprintf(stderr, "bad --threads '%s'\n", argv[i]);
+            return -1;
+        }
+        return 1;
+    }
+    if (std::strcmp(arg, "--scale") == 0 && i + 1 < argc) {
+        char *end = nullptr;
+        opts.scale = std::strtod(argv[++i], &end);
+        if (end == argv[i] || *end != '\0' ||
+            !std::isfinite(opts.scale) || opts.scale <= 0.0) {
+            std::fprintf(stderr, "bad --scale '%s'\n", argv[i]);
+            return -1;
+        }
+        return 1;
+    }
+    return 0;
+}
+
+int
+runFigureMain(const std::string &name, int argc, char **argv)
+{
+    FigureOptions opts;
+    opts.scale = envTraceScale();
+
+    for (int i = 1; i < argc; ++i) {
+        int r = parseCommonFlag(argc, argv, i, opts);
+        if (r < 0)
+            return 2;
+        if (r == 0) {
+            std::fprintf(stderr,
+                         "usage: %s [--threads N] [--json] "
+                         "[--scale S]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    const FigureDef *fig = findFigure(name);
+    if (!fig) {
+        std::fprintf(stderr, "unknown figure '%s'\n", name.c_str());
+        return 2;
+    }
+
+    TraceCache traces(opts.scale);
+    SweepEngine engine(traces, opts.threads);
+    FigureResult result = fig->fn(engine);
+    std::string out =
+        opts.json ? renderFigureJson(*fig, result, traces.scale(),
+                                     engine.threads())
+                  : renderFigureText(*fig, result, traces.scale());
+    std::fputs(out.c_str(), stdout);
+    return 0;
+}
+
+} // namespace oova

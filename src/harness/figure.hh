@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The figure registry: every paper table/figure (and the extra
+ * ablation study) is implemented as a function that declares its
+ * sweep through the SweepEngine and returns its tables as data. One
+ * renderer prints the classic text output (byte-identical to the
+ * original hand-rolled bench binaries); another emits JSON so sweep
+ * results are machine-readable for perf tracking across PRs.
+ *
+ * The per-figure binaries under bench/ are thin wrappers around
+ * runFigureMain(); the unified oova_bench driver can run any entry
+ * by name.
+ */
+
+#ifndef OOVA_HARNESS_FIGURE_HH
+#define OOVA_HARNESS_FIGURE_HH
+
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "harness/sweep.hh"
+
+namespace oova
+{
+
+/** One table of a figure, with an optional section heading line. */
+struct FigureSection
+{
+    /**
+     * Heading printed verbatim on its own line before the table
+     * (e.g. "--- hydro2d ---"); empty for single-table figures.
+     */
+    std::string heading;
+    TextTable table;
+};
+
+/** Everything a figure produces, ready to render. */
+struct FigureResult
+{
+    std::vector<FigureSection> sections;
+    /** Closing "(paper: ...)" comparison note; empty to omit. */
+    std::string footnote;
+    /** Print the "trace scale:" line under the banner. */
+    bool showScale = true;
+};
+
+using FigureFn = FigureResult (*)(const SweepEngine &engine);
+
+/** A registered figure. */
+struct FigureDef
+{
+    const char *name;   ///< short id, e.g. "fig5"
+    const char *binary; ///< bench binary name, e.g. "fig5_speedup"
+    const char *title;  ///< banner title
+    FigureFn fn;
+};
+
+/** All figures, in the paper's order. */
+const std::vector<FigureDef> &figureRegistry();
+
+/**
+ * Look up a figure by short name or by binary name; nullptr if
+ * unknown.
+ */
+const FigureDef *findFigure(const std::string &name);
+
+/** Classic text rendering (banner, tables, footnote). */
+std::string renderFigureText(const FigureDef &fig,
+                             const FigureResult &result,
+                             double scale);
+
+/** JSON rendering, one object per figure. */
+std::string renderFigureJson(const FigureDef &fig,
+                             const FigureResult &result, double scale,
+                             unsigned threads);
+
+/** Options shared by every figure driver. */
+struct FigureOptions
+{
+    unsigned threads = 0; ///< 0 = hardware concurrency
+    bool json = false;
+    double scale = 1.0;
+};
+
+/**
+ * Try to consume argv[i] (and its value, if any) as one of the
+ * common flags --threads N / --json / --scale S. Returns 1 if
+ * consumed (advancing @p i past any value), 0 if argv[i] is not a
+ * common flag, -1 on a malformed value (after printing an error to
+ * stderr).
+ */
+int parseCommonFlag(int argc, char **argv, int &i,
+                    FigureOptions &opts);
+
+/**
+ * Shared main() for the per-figure bench binaries: parses
+ * [--threads N] [--json] [--scale S], runs figure @p name and prints
+ * it. Returns the process exit code.
+ */
+int runFigureMain(const std::string &name, int argc, char **argv);
+
+} // namespace oova
+
+#endif // OOVA_HARNESS_FIGURE_HH

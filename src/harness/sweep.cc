@@ -1,0 +1,129 @@
+#include "harness/sweep.hh"
+
+#include <atomic>
+#include <exception>
+#include <thread>
+
+#include "common/logging.hh"
+#include "core/ideal.hh"
+#include "core/ooosim.hh"
+
+namespace oova
+{
+
+SweepJob
+refJob(std::string trace, RefConfig cfg)
+{
+    return {std::move(trace), [cfg](const Trace &t) {
+                return simulateRef(t, cfg);
+            }};
+}
+
+SweepJob
+oooJob(std::string trace, OooConfig cfg)
+{
+    return {std::move(trace), [cfg](const Trace &t) {
+                return simulateOoo(t, cfg);
+            }};
+}
+
+SweepJob
+idealJob(std::string trace)
+{
+    return {std::move(trace), [](const Trace &t) {
+                SimResult r;
+                r.machine = "IDEAL";
+                r.cycles = idealCycles(t);
+                return r;
+            }};
+}
+
+SweepEngine::SweepEngine(const TraceCache &traces, unsigned threads)
+    : traces_(traces), threads_(threads)
+{
+    if (threads_ == 0) {
+        threads_ = std::thread::hardware_concurrency();
+        if (threads_ == 0)
+            threads_ = 1;
+    }
+}
+
+std::vector<SimResult>
+SweepEngine::run(const std::vector<SweepJob> &jobs) const
+{
+    std::vector<SimResult> results(jobs.size());
+
+    auto runOne = [&](size_t i) {
+        const SweepJob &job = jobs[i];
+        results[i] = job.run(traces_.get(job.trace));
+        if (results[i].program.empty())
+            results[i].program = job.trace;
+    };
+
+    unsigned workers = threads_;
+    if (jobs.size() < workers)
+        workers = static_cast<unsigned>(jobs.size());
+
+    if (workers <= 1) {
+        for (size_t i = 0; i < jobs.size(); ++i)
+            runOne(i);
+        return results;
+    }
+
+    // Each worker claims the next unstarted index; results land in
+    // their submission-order slot, so completion order is invisible.
+    std::atomic<size_t> next{0};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+        pool.emplace_back([&] {
+            for (;;) {
+                size_t i = next.fetch_add(1);
+                if (i >= jobs.size())
+                    return;
+                try {
+                    runOne(i);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(error_mutex);
+                    if (!error)
+                        error = std::current_exception();
+                }
+            }
+        });
+    }
+    for (auto &t : pool)
+        t.join();
+    if (error)
+        std::rethrow_exception(error);
+    return results;
+}
+
+void
+SweepEngine::prefetch(const std::vector<std::string> &names) const
+{
+    std::vector<SweepJob> jobs;
+    jobs.reserve(names.size());
+    for (const auto &name : names)
+        jobs.push_back(
+            {name, [](const Trace &) { return SimResult{}; }});
+    run(jobs);
+}
+
+void
+JobSet::run(const SweepEngine &engine)
+{
+    results_ = engine.run(jobs_);
+}
+
+const SimResult &
+JobSet::operator[](size_t index) const
+{
+    sim_assert(index < results_.size(),
+               "job %zu read before run() or out of range (%zu)",
+               index, results_.size());
+    return results_[index];
+}
+
+} // namespace oova

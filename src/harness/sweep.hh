@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The parallel sweep engine. Every paper figure is a sweep — a batch
+ * of (benchmark × machine configuration) simulation jobs — and this
+ * engine executes such a batch on a pool of worker threads, against
+ * the shared TraceCache, returning results in submission order so
+ * table layout is deterministic regardless of completion order.
+ *
+ * Jobs must be independent pure functions of (trace, config); both
+ * simulators satisfy this, which is what makes the --threads 1 and
+ * --threads N outputs bit-identical.
+ */
+
+#ifndef OOVA_HARNESS_SWEEP_HH
+#define OOVA_HARNESS_SWEEP_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/config.hh"
+#include "harness/tracecache.hh"
+#include "mem/simresult.hh"
+#include "ref/refsim.hh"
+
+namespace oova
+{
+
+/** One unit of sweep work: a benchmark trace × a machine model. */
+struct SweepJob
+{
+    /** Benchmark name, resolved through the TraceCache. */
+    std::string trace;
+    /** The simulation to run on that trace. */
+    std::function<SimResult(const Trace &)> run;
+};
+
+/** Job running the reference (in-order) simulator. */
+SweepJob refJob(std::string trace, RefConfig cfg);
+
+/** Job running the OOOVA simulator. */
+SweepJob oooJob(std::string trace, OooConfig cfg);
+
+/**
+ * Job computing the IDEAL bound; the result carries only .cycles
+ * (and the machine label "IDEAL").
+ */
+SweepJob idealJob(std::string trace);
+
+/** Executes batches of SweepJobs on a worker pool. */
+class SweepEngine
+{
+  public:
+    /**
+     * @param traces  shared trace cache (must outlive the engine)
+     * @param threads worker count; 0 means hardware concurrency
+     */
+    explicit SweepEngine(const TraceCache &traces,
+                         unsigned threads = 0);
+
+    /**
+     * Run all jobs and return their results, index-aligned with
+     * @p jobs (submission order, not completion order).
+     */
+    std::vector<SimResult> run(const std::vector<SweepJob> &jobs) const;
+
+    /**
+     * Generate (and cache) the named traces using the worker pool,
+     * for figures that read traces without simulating them.
+     */
+    void prefetch(const std::vector<std::string> &names) const;
+
+    unsigned threads() const { return threads_; }
+    const TraceCache &traces() const { return traces_; }
+
+  private:
+    const TraceCache &traces_;
+    unsigned threads_;
+};
+
+/**
+ * Convenience builder used by the figure implementations: collect
+ * jobs while remembering their indices, run them all at once, then
+ * read results back by index while assembling tables.
+ */
+class JobSet
+{
+  public:
+    /** Append a job; returns its index for later lookup. */
+    size_t
+    add(SweepJob job)
+    {
+        jobs_.push_back(std::move(job));
+        return jobs_.size() - 1;
+    }
+
+    size_t addRef(std::string trace, RefConfig cfg)
+    {
+        return add(refJob(std::move(trace), cfg));
+    }
+    size_t addOoo(std::string trace, OooConfig cfg)
+    {
+        return add(oooJob(std::move(trace), cfg));
+    }
+    size_t addIdeal(std::string trace)
+    {
+        return add(idealJob(std::move(trace)));
+    }
+
+    /** Execute everything added so far. */
+    void run(const SweepEngine &engine);
+
+    /** Result of the job that add() numbered @p index. */
+    const SimResult &operator[](size_t index) const;
+
+    size_t size() const { return jobs_.size(); }
+
+  private:
+    std::vector<SweepJob> jobs_;
+    std::vector<SimResult> results_;
+};
+
+} // namespace oova
+
+#endif // OOVA_HARNESS_SWEEP_HH

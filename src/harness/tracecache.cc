@@ -1,0 +1,64 @@
+#include "harness/tracecache.hh"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace oova
+{
+
+double
+envTraceScale()
+{
+    const char *env = std::getenv("OOVA_SCALE");
+    if (!env)
+        return 1.0;
+    char *end = nullptr;
+    double v = std::strtod(env, &end);
+    // The whole string must be consumed: "0.5x" or "" are rejected,
+    // not silently truncated the way atof() would.
+    if (end == env || *end != '\0' || !std::isfinite(v) || v <= 0.0) {
+        warn("ignoring bad OOVA_SCALE '%s'", env);
+        return 1.0;
+    }
+    return v;
+}
+
+TraceCache::TraceCache(double scale, Generator generator)
+    : scale_(scale), generator_(std::move(generator))
+{
+    sim_assert(scale_ > 0.0, "non-positive trace scale");
+    if (!generator_)
+        generator_ = [](const std::string &name,
+                        const GenOptions &opts) {
+            return makeBenchmarkTrace(name, opts);
+        };
+    // Populate every key up front so the map structure is immutable
+    // from here on and entry addresses are stable.
+    for (const auto &name : benchmarkNames())
+        entries_.try_emplace(name);
+}
+
+const Trace &
+TraceCache::get(const std::string &name) const
+{
+    auto it = entries_.find(name);
+    if (it == entries_.end())
+        fatal("unknown benchmark '%s'", name.c_str());
+    Entry &e = it->second;
+    std::call_once(e.once, [&] {
+        GenOptions opts;
+        opts.scale = scale_;
+        e.trace = generator_(name, opts);
+    });
+    return e.trace;
+}
+
+const std::vector<std::string> &
+TraceCache::names() const
+{
+    return benchmarkNames();
+}
+
+} // namespace oova

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * A thread-safe, logically immutable cache of the ten benchmark
+ * traces, shared by every worker of the parallel sweep engine.
+ *
+ * The map of entries is fully populated at construction and never
+ * mutated afterwards, so references returned by get() are stable for
+ * the cache's lifetime and concurrent lookups never race on the map
+ * structure. Each trace body is generated lazily, exactly once, under
+ * a per-entry std::once_flag; a second thread requesting the same
+ * trace blocks until the first generation completes.
+ */
+
+#ifndef OOVA_HARNESS_TRACECACHE_HH
+#define OOVA_HARNESS_TRACECACHE_HH
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "tgen/benchmarks.hh"
+#include "trace/trace.hh"
+
+namespace oova
+{
+
+/**
+ * Trace scale from the OOVA_SCALE environment variable, or 1.0 when
+ * unset. The whole string must parse as a positive finite number;
+ * anything else (including trailing garbage such as "0.5x") warns
+ * and falls back to the default.
+ */
+double envTraceScale();
+
+/** Shared benchmark-trace cache. See the file comment. */
+class TraceCache
+{
+  public:
+    /** Trace generator, injectable for tests. */
+    using Generator =
+        std::function<Trace(const std::string &, const GenOptions &)>;
+
+    explicit TraceCache(double scale = envTraceScale(),
+                        Generator generator = {});
+
+    TraceCache(const TraceCache &) = delete;
+    TraceCache &operator=(const TraceCache &) = delete;
+
+    /**
+     * The trace for one benchmark, generated on first use. Safe to
+     * call from any number of threads; the returned reference stays
+     * valid for the cache's lifetime. Unknown names are fatal.
+     */
+    const Trace &get(const std::string &name) const;
+
+    /** All ten benchmark names, in the paper's order. */
+    const std::vector<std::string> &names() const;
+
+    double scale() const { return scale_; }
+
+  private:
+    struct Entry
+    {
+        std::once_flag once;
+        Trace trace;
+    };
+
+    double scale_;
+    Generator generator_;
+    /** Keys fixed at construction; values filled in lazily. */
+    mutable std::map<std::string, Entry> entries_;
+};
+
+} // namespace oova
+
+#endif // OOVA_HARNESS_TRACECACHE_HH

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Tests for the experiment harness: the parallel sweep engine
+ * (determinism across thread counts, submission-order results), the
+ * shared trace cache (single generation and stable references under
+ * concurrency), OOVA_SCALE parsing, and the speedup() degenerate
+ * case.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "harness/figure.hh"
+#include "harness/sweep.hh"
+#include "harness/tracecache.hh"
+
+using namespace oova;
+
+namespace
+{
+
+constexpr double kTestScale = 0.1;
+
+/** A small but varied batch covering both simulators and IDEAL. */
+std::vector<SweepJob>
+testBatch(const TraceCache &traces)
+{
+    std::vector<SweepJob> jobs;
+    for (const auto &name : traces.names()) {
+        jobs.push_back(refJob(name, makeRefConfig(50)));
+        jobs.push_back(oooJob(name, makeOooConfig(16, 16, 50)));
+        jobs.push_back(oooJob(name, makeOooConfig(32, 16, 50,
+                                                  CommitMode::Late,
+                                                  LoadElimMode::SleVle)));
+        jobs.push_back(idealJob(name));
+    }
+    return jobs;
+}
+
+} // namespace
+
+TEST(SweepEngine, SameResultsAtOneAndEightThreads)
+{
+    TraceCache traces(kTestScale);
+    std::vector<SweepJob> jobs = testBatch(traces);
+
+    SweepEngine serial(traces, 1);
+    SweepEngine parallel(traces, 8);
+    std::vector<SimResult> a = serial.run(jobs);
+    std::vector<SimResult> b = parallel.run(jobs);
+
+    ASSERT_EQ(a.size(), jobs.size());
+    ASSERT_EQ(b.size(), jobs.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].program, b[i].program) << "job " << i;
+        EXPECT_EQ(a[i].machine, b[i].machine) << "job " << i;
+        EXPECT_EQ(a[i].cycles, b[i].cycles) << "job " << i;
+        EXPECT_EQ(a[i].instructions, b[i].instructions) << "job " << i;
+        EXPECT_EQ(a[i].memRequests, b[i].memRequests) << "job " << i;
+        EXPECT_EQ(a[i].stateCycles, b[i].stateCycles) << "job " << i;
+    }
+}
+
+TEST(SweepEngine, ResultsAlignWithSubmissionOrder)
+{
+    TraceCache traces(kTestScale);
+    std::vector<SweepJob> jobs = testBatch(traces);
+    SweepEngine engine(traces, 4);
+    std::vector<SimResult> res = engine.run(jobs);
+
+    ASSERT_EQ(res.size(), jobs.size());
+    for (size_t i = 0; i < res.size(); ++i) {
+        // Every simulator stamps the trace name; slot i must hold
+        // the result of job i's trace no matter which worker ran it.
+        EXPECT_EQ(res[i].program, jobs[i].trace) << "job " << i;
+        EXPECT_GT(res[i].cycles, 0u) << "job " << i;
+    }
+    // The batch interleaves machines in a fixed pattern.
+    EXPECT_EQ(res[0].machine, "REF");
+    EXPECT_EQ(res[3].machine, "IDEAL");
+}
+
+TEST(SweepEngine, ZeroThreadsMeansHardwareConcurrency)
+{
+    TraceCache traces(kTestScale);
+    SweepEngine engine(traces, 0);
+    EXPECT_GE(engine.threads(), 1u);
+}
+
+TEST(JobSet, IndicesReadBackAfterRun)
+{
+    TraceCache traces(kTestScale);
+    SweepEngine engine(traces, 2);
+    JobSet js;
+    size_t a = js.addRef("hydro2d", makeRefConfig(50));
+    size_t b = js.addOoo("trfd", makeOooConfig(16, 16, 50));
+    size_t c = js.addIdeal("swm256");
+    js.run(engine);
+    EXPECT_EQ(js[a].program, "hydro2d");
+    EXPECT_EQ(js[a].machine, "REF");
+    EXPECT_EQ(js[b].program, "trfd");
+    EXPECT_EQ(js[c].program, "swm256");
+    EXPECT_EQ(js[c].machine, "IDEAL");
+}
+
+TEST(TraceCache, GeneratesEachTraceOnceUnderConcurrency)
+{
+    std::atomic<unsigned> generations{0};
+    TraceCache cache(kTestScale,
+                     [&](const std::string &name,
+                         const GenOptions &opts) {
+                         generations.fetch_add(1);
+                         return makeBenchmarkTrace(name, opts);
+                     });
+
+    const std::vector<std::string> wanted = {"hydro2d", "trfd"};
+    constexpr unsigned kThreads = 8;
+    std::vector<const Trace *> seen(kThreads * wanted.size());
+    std::vector<std::thread> pool;
+    for (unsigned t = 0; t < kThreads; ++t)
+        pool.emplace_back([&, t] {
+            for (size_t n = 0; n < wanted.size(); ++n)
+                seen[t * wanted.size() + n] = &cache.get(wanted[n]);
+        });
+    for (auto &t : pool)
+        t.join();
+
+    // One generation per distinct trace, not per caller...
+    EXPECT_EQ(generations.load(), wanted.size());
+    // ...and every caller got the same stable object.
+    for (unsigned t = 0; t < kThreads; ++t)
+        for (size_t n = 0; n < wanted.size(); ++n)
+            EXPECT_EQ(seen[t * wanted.size() + n],
+                      seen[n]);
+}
+
+TEST(TraceCache, ReferencesStableAcrossLookups)
+{
+    TraceCache cache(kTestScale);
+    const Trace *first = &cache.get("hydro2d");
+    // Filling the rest of the cache must not move earlier entries.
+    for (const auto &name : cache.names())
+        cache.get(name);
+    EXPECT_EQ(&cache.get("hydro2d"), first);
+    EXPECT_EQ(cache.get("hydro2d").name(), "hydro2d");
+}
+
+TEST(TraceCache, WorkloadsWrapperSharesSemantics)
+{
+    Workloads w(kTestScale);
+    const Trace *first = &w.get("trfd");
+    for (const auto &name : w.names())
+        w.get(name);
+    EXPECT_EQ(&w.get("trfd"), first);
+    EXPECT_EQ(w.scale(), kTestScale);
+}
+
+class EnvScaleTest : public ::testing::Test
+{
+  protected:
+    void
+    TearDown() override
+    {
+        unsetenv("OOVA_SCALE");
+    }
+
+    double
+    withEnv(const char *value)
+    {
+        setenv("OOVA_SCALE", value, 1);
+        return envTraceScale();
+    }
+};
+
+TEST_F(EnvScaleTest, UnsetDefaultsToOne)
+{
+    unsetenv("OOVA_SCALE");
+    EXPECT_EQ(envTraceScale(), 1.0);
+}
+
+TEST_F(EnvScaleTest, AcceptsPositiveNumbers)
+{
+    EXPECT_EQ(withEnv("0.5"), 0.5);
+    EXPECT_EQ(withEnv("2"), 2.0);
+    EXPECT_EQ(withEnv("1e-1"), 0.1);
+}
+
+TEST_F(EnvScaleTest, RejectsTrailingGarbage)
+{
+    // atof would silently have parsed these as 0.5 / 1.0.
+    EXPECT_EQ(withEnv("0.5x"), 1.0);
+    EXPECT_EQ(withEnv("1.0 extra"), 1.0);
+}
+
+TEST_F(EnvScaleTest, RejectsNonNumbersAndNonPositive)
+{
+    EXPECT_EQ(withEnv(""), 1.0);
+    EXPECT_EQ(withEnv("abc"), 1.0);
+    EXPECT_EQ(withEnv("-1"), 1.0);
+    EXPECT_EQ(withEnv("0"), 1.0);
+    EXPECT_EQ(withEnv("nan"), 1.0);
+    EXPECT_EQ(withEnv("inf"), 1.0);
+}
+
+TEST(Speedup, ZeroCyclesIsNaNNotZero)
+{
+    SimResult base, broken;
+    base.cycles = 100;
+    broken.cycles = 0;
+    EXPECT_TRUE(std::isnan(speedup(base, broken)));
+    broken.cycles = 50;
+    EXPECT_EQ(speedup(base, broken), 2.0);
+}
+
+TEST(FigureRegistry, AllFiguresRegisteredAndFindable)
+{
+    const auto &registry = figureRegistry();
+    EXPECT_EQ(registry.size(), 15u);
+    EXPECT_NE(findFigure("fig5"), nullptr);
+    EXPECT_NE(findFigure("fig5_speedup"), nullptr);
+    EXPECT_EQ(findFigure("fig5"), findFigure("fig5_speedup"));
+    EXPECT_EQ(findFigure("nope"), nullptr);
+}
+
+TEST(FigureRegistry, FigureOutputIdenticalAcrossThreadCounts)
+{
+    const FigureDef *fig = findFigure("fig6");
+    ASSERT_NE(fig, nullptr);
+    TraceCache traces(kTestScale);
+    SweepEngine serial(traces, 1);
+    SweepEngine parallel(traces, 8);
+    std::string a =
+        renderFigureText(*fig, fig->fn(serial), traces.scale());
+    std::string b =
+        renderFigureText(*fig, fig->fn(parallel), traces.scale());
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a.find("== Figure 6"), std::string::npos);
+}
