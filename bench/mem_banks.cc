@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Memory-hierarchy bank-count sweep: OOOVA speedup over REF as the
+ * banked memory model grows from 1 to 16 interleaved banks (one
+ * address port, 4-cycle bank busy time), next to the paper's flat
+ * address bus. Unit-stride programs gain monotonically with banks
+ * and approach the flat bus once the bank pool covers the bank busy
+ * time; programs with power-of-two strides keep residual conflicts.
+ */
+
+#include "harness/figure.hh"
+
+int
+main(int argc, char **argv)
+{
+    return oova::runFigureMain("membank", argc, argv);
+}

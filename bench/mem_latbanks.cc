@@ -1,0 +1,15 @@
+/**
+ * @file
+ * Latency x banks: the paper's figure-8 latency-tolerance experiment
+ * extended with the memory hierarchy as a second axis — OOOVA cycles
+ * under the flat bus and under 4- and 16-bank memories at main-memory
+ * latencies 1/50/100.
+ */
+
+#include "harness/figure.hh"
+
+int
+main(int argc, char **argv)
+{
+    return oova::runFigureMain("memlat", argc, argv);
+}

@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Stride-conflict study: a synthetic strided streaming kernel swept
+ * over element strides {1,2,3,4,7,8,16} against an 8-bank memory.
+ * Strides sharing a factor with the bank count touch fewer distinct
+ * banks and dilate the address phase up to the bank busy time;
+ * co-prime strides behave like stride 1.
+ */
+
+#include "harness/figure.hh"
+
+int
+main(int argc, char **argv)
+{
+    return oova::runFigureMain("memstride", argc, argv);
+}

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "isa/latency.hh"
+#include "mem/memsystem.hh"
 
 namespace oova
 {
@@ -71,7 +72,15 @@ struct OooConfig
     /** Cycles charged for trap entry on a faulting instruction. */
     unsigned trapPenalty = 50;
 
-    /** Short label, e.g. "OOOVA-16/16r/early". */
+    /**
+     * The memory hierarchy behind the address path. The default
+     * FlatBus reproduces the paper's single-bus fixed-latency model
+     * exactly; see mem/memsystem.hh for the banked and cached
+     * models. lat.memLatency feeds whichever model is selected.
+     */
+    MemConfig mem;
+
+    /** Short label, e.g. "OOOVA-16/16r/early" or ".../mb8p1". */
     std::string name() const;
 };
 

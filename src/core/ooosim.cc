@@ -8,7 +8,7 @@
 #include "common/logging.hh"
 #include "core/btb.hh"
 #include "core/renamer.hh"
-#include "mem/membus.hh"
+#include "mem/memsystem.hh"
 
 namespace oova
 {
@@ -23,6 +23,7 @@ OooConfig::name() const
         n += "/sle";
     else if (loadElim == LoadElimMode::SleVle)
         n += "/sle+vle";
+    n += mem.label();
     return n;
 }
 
@@ -66,7 +67,8 @@ class OooMachine
         : trace_(trace), cfg_(cfg), lat_(cfg.lat), fault_(fault),
           renamer_(RenamerConfig{cfg.numPhysARegs, cfg.numPhysSRegs,
                                  cfg.numPhysVRegs, cfg.numPhysMRegs}),
-          btb_(cfg.btbEntries), ras_(cfg.rasDepth)
+          btb_(cfg.btbEntries), ras_(cfg.rasDepth),
+          mem_(makeMemorySystem(cfg.mem, cfg.lat.memLatency))
     {
         pipeStage_.fill(nullptr);
     }
@@ -116,7 +118,7 @@ class OooMachine
     Renamer renamer_;
     Btb btb_;
     ReturnStack ras_;
-    AddressBus bus_;
+    std::unique_ptr<MemorySystem> mem_;
 
     /** Stable storage for in-flight records; never shrinks, so
      *  pointers in the wait set survive early commit. */
@@ -513,7 +515,7 @@ OooMachine::cleanupWaitSet()
 bool
 OooMachine::memIssueStep()
 {
-    if (bus_.freeAt() > now_)
+    if (mem_->freeAt() > now_)
         return false;
     for (RobEntry *e : waitSet_) {
         if (e->memIssued || e->faulted)
@@ -538,26 +540,31 @@ OooMachine::memIssueStep()
         }
 
         unsigned elems = di.memElems();
-        Cycle s = bus_.reserve(now_, elems);
+        // Gather/scatter element addresses are unknown to the
+        // hardware ahead of time; model them as a word-stride walk
+        // of the region (a neutral bank-mapping assumption).
+        int64_t stride = di.isIndexedMem()
+                             ? static_cast<int64_t>(di.elemSize)
+                             : di.strideBytes;
+        MemAccess acc =
+            mem_->reserve(now_, di.addr, stride, elems);
         e->memIssued = true;
         e->started = true;
-        e->memDoneAt = s + elems;
-        occupyVectorReadPorts(*e, s + elems);
+        e->memDoneAt = acc.end;
+        occupyVectorReadPorts(*e, acc.end);
         sim_assert(memSlotsUsed_ > 0, "mem slot underflow");
         --memSlotsUsed_;
 
         if (di.isLoad()) {
             PhysReg &d = renamer_.file(di.dst.cls).reg(e->physDst);
             if (di.isVector()) {
-                Cycle wstart =
-                    s + lat_.memLatency + lat_.writeXbarVector;
+                Cycle wstart = acc.firstData + lat_.writeXbarVector;
                 d.chainReadyAt = wstart + 1;
-                d.fullReadyAt = wstart + di.vl;
+                d.fullReadyAt = acc.lastData + lat_.writeXbarVector;
                 d.writerIsLoad = true;
                 e->completeAt = d.fullReadyAt;
             } else {
-                Cycle ready =
-                    s + lat_.memLatency + lat_.writeXbarScalar;
+                Cycle ready = acc.firstData + lat_.writeXbarScalar;
                 d.chainReadyAt = ready;
                 d.fullReadyAt = ready;
                 e->completeAt = ready;
@@ -567,9 +574,9 @@ OooMachine::memIssueStep()
             // issued, the address/data stream drains in the
             // background, so the instruction is complete (and, under
             // late commit, may retire) the cycle after issue. The
-            // bus phase still orders conflicting accesses via
+            // address phase still orders conflicting accesses via
             // memDoneAt.
-            e->completeAt = s + 1;
+            e->completeAt = acc.start + 1;
         }
         finish(e->completeAt);
         finish(e->memDoneAt);
@@ -927,7 +934,7 @@ OooMachine::nextEventAfter() const
     };
     consider(fu1Free_);
     consider(fu2Free_);
-    consider(bus_.freeAt());
+    consider(mem_->freeAt());
     consider(fetchStalledUntil_);
     for (const RobEntry *e : rob_) {
         consider(e->completeAt);
@@ -1033,8 +1040,13 @@ OooMachine::run()
     res.instructions = committed_;
     res.fu1BusyCycles = fu1Rec_.busyCycles();
     res.fu2BusyCycles = fu2Rec_.busyCycles();
-    res.memBusyCycles = bus_.busy().busyCycles();
-    res.memRequests = bus_.requests();
+    res.memBusyCycles = mem_->busy().busyCycles();
+    res.memRequests = mem_->stats().requests;
+    res.memBankConflicts = mem_->stats().bankConflicts;
+    res.memConflictCycles = mem_->stats().conflictCycles;
+    res.cacheHits = mem_->stats().cacheHits;
+    res.cacheMisses = mem_->stats().cacheMisses;
+    res.mshrStallCycles = mem_->stats().mshrStallCycles;
     res.vectorLoadsEliminated = vElims_;
     res.scalarLoadsEliminated = sElims_;
     res.branchMispredicts = mispredicts_;
@@ -1043,7 +1055,7 @@ OooMachine::run()
     res.queueStallCycles = queueStalls_;
     res.traps = traps_;
     res.stateCycles = UnitStateBreakdown::compute(
-        fu2Rec_, fu1Rec_, bus_.busy(), endCycle_);
+        fu2Rec_, fu1Rec_, mem_->busy(), endCycle_);
     return res;
 }
 

@@ -51,6 +51,24 @@ makeOooConfig(unsigned phys_vregs, unsigned queue_size,
     return cfg;
 }
 
+OooConfig
+makeBankedOooConfig(unsigned banks, unsigned mem_latency,
+                    unsigned address_ports)
+{
+    OooConfig cfg = makeOooConfig(16, 16, mem_latency);
+    cfg.mem = makeBankedMem(banks, address_ports);
+    return cfg;
+}
+
+RefConfig
+makeBankedRefConfig(unsigned banks, unsigned mem_latency,
+                    unsigned address_ports)
+{
+    RefConfig cfg = makeRefConfig(mem_latency);
+    cfg.mem = makeBankedMem(banks, address_ports);
+    return cfg;
+}
+
 double
 speedup(const SimResult &base, const SimResult &x)
 {

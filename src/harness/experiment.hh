@@ -62,6 +62,16 @@ OooConfig makeOooConfig(unsigned phys_vregs = 16,
                         CommitMode commit = CommitMode::Early,
                         LoadElimMode elim = LoadElimMode::None);
 
+/** Default OOOVA over a banked memory hierarchy. */
+OooConfig makeBankedOooConfig(unsigned banks,
+                              unsigned mem_latency = 50,
+                              unsigned address_ports = 1);
+
+/** Reference machine over a banked memory hierarchy. */
+RefConfig makeBankedRefConfig(unsigned banks,
+                              unsigned mem_latency = 50,
+                              unsigned address_ports = 1);
+
 /**
  * base.cycles / x.cycles — how much faster x is than base. A result
  * with x.cycles == 0 can only come from a broken simulation, so the

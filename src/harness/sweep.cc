@@ -16,7 +16,7 @@ refJob(std::string trace, RefConfig cfg)
 {
     return {std::move(trace), [cfg](const Trace &t) {
                 return simulateRef(t, cfg);
-            }};
+            }, nullptr};
 }
 
 SweepJob
@@ -24,7 +24,17 @@ oooJob(std::string trace, OooConfig cfg)
 {
     return {std::move(trace), [cfg](const Trace &t) {
                 return simulateOoo(t, cfg);
-            }};
+            }, nullptr};
+}
+
+SweepJob
+oooTraceJob(std::shared_ptr<const Trace> trace, OooConfig cfg)
+{
+    SweepJob job;
+    job.trace = trace->name();
+    job.run = [cfg](const Trace &t) { return simulateOoo(t, cfg); };
+    job.inlineTrace = std::move(trace);
+    return job;
 }
 
 SweepJob
@@ -35,7 +45,7 @@ idealJob(std::string trace)
                 r.machine = "IDEAL";
                 r.cycles = idealCycles(t);
                 return r;
-            }};
+            }, nullptr};
 }
 
 SweepEngine::SweepEngine(const TraceCache &traces, unsigned threads)
@@ -55,7 +65,9 @@ SweepEngine::run(const std::vector<SweepJob> &jobs) const
 
     auto runOne = [&](size_t i) {
         const SweepJob &job = jobs[i];
-        results[i] = job.run(traces_.get(job.trace));
+        const Trace &t = job.inlineTrace ? *job.inlineTrace
+                                         : traces_.get(job.trace);
+        results[i] = job.run(t);
         if (results[i].program.empty())
             results[i].program = job.trace;
     };
@@ -107,7 +119,7 @@ SweepEngine::prefetch(const std::vector<std::string> &names) const
     jobs.reserve(names.size());
     for (const auto &name : names)
         jobs.push_back(
-            {name, [](const Trace &) { return SimResult{}; }});
+            {name, [](const Trace &) { return SimResult{}; }, nullptr});
     run(jobs);
 }
 

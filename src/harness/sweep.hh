@@ -15,6 +15,7 @@
 #define OOVA_HARNESS_SWEEP_HH
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -26,13 +27,20 @@
 namespace oova
 {
 
-/** One unit of sweep work: a benchmark trace × a machine model. */
+/** One unit of sweep work: a trace × a machine model. */
 struct SweepJob
 {
     /** Benchmark name, resolved through the TraceCache. */
     std::string trace;
     /** The simulation to run on that trace. */
     std::function<SimResult(const Trace &)> run;
+    /**
+     * When set, this trace is simulated instead of resolving
+     * @c trace by name — for synthetic sweeps (e.g. the memstride
+     * figure) whose traces live outside the benchmark cache. Shared
+     * so several jobs can sweep configurations over one trace.
+     */
+    std::shared_ptr<const Trace> inlineTrace;
 };
 
 /** Job running the reference (in-order) simulator. */
@@ -40,6 +48,10 @@ SweepJob refJob(std::string trace, RefConfig cfg);
 
 /** Job running the OOOVA simulator. */
 SweepJob oooJob(std::string trace, OooConfig cfg);
+
+/** Job running the OOOVA on a caller-supplied synthetic trace. */
+SweepJob oooTraceJob(std::shared_ptr<const Trace> trace,
+                     OooConfig cfg);
 
 /**
  * Job computing the IDEAL bound; the result carries only .cycles
@@ -101,6 +113,11 @@ class JobSet
     size_t addOoo(std::string trace, OooConfig cfg)
     {
         return add(oooJob(std::move(trace), cfg));
+    }
+    size_t addOooTrace(std::shared_ptr<const Trace> trace,
+                       OooConfig cfg)
+    {
+        return add(oooTraceJob(std::move(trace), cfg));
     }
     size_t addIdeal(std::string trace)
     {

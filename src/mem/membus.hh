@@ -30,10 +30,15 @@ class AddressBus
      * Reserve @p elems consecutive address slots.
      * @param earliest do not start before this cycle
      * @return the cycle the first address is driven
+     *
+     * A zero-element reservation is a no-op returning @p earliest:
+     * nothing is driven, so no stats advance and the bus stays free.
      */
     Cycle
     reserve(Cycle earliest, unsigned elems)
     {
+        if (elems == 0)
+            return earliest;
         Cycle start = earliest > freeAt_ ? earliest : freeAt_;
         freeAt_ = start + elems;
         requests_ += elems;

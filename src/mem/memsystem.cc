@@ -1,0 +1,395 @@
+#include "mem/memsystem.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.hh"
+#include "mem/membus.hh"
+
+namespace oova
+{
+
+namespace
+{
+
+/** Machine word size; the interleave/line unit of every model. */
+constexpr unsigned kWordBytes = 8;
+
+/**
+ * Coalesces consecutive per-element busy cycles into runs before
+ * recording them, so a stream adds O(conflict sites) intervals
+ * instead of O(elements). Shared by the banked and cached models;
+ * flushes the open run on destruction.
+ */
+class BusyRunMerger
+{
+  public:
+    explicit BusyRunMerger(IntervalRecorder &rec) : rec_(rec) {}
+
+    /** Record cycle @p t busy; cycles arrive nondecreasing. */
+    void
+    add(Cycle t)
+    {
+        if (runStart_ == kNoCycle) {
+            runStart_ = t;
+            runEnd_ = t + 1;
+        } else if (t == runEnd_) {
+            ++runEnd_;
+        } else if (t > runEnd_) {
+            rec_.add(runStart_, runEnd_);
+            runStart_ = t;
+            runEnd_ = t + 1;
+        }
+        // t within the open run (multi-port same-cycle issue): no-op.
+    }
+
+    ~BusyRunMerger()
+    {
+        if (runStart_ != kNoCycle)
+            rec_.add(runStart_, runEnd_);
+    }
+
+  private:
+    IntervalRecorder &rec_;
+    Cycle runStart_ = kNoCycle, runEnd_ = 0;
+};
+
+/**
+ * The paper's model: an exclusive serializing address bus driving
+ * one address per cycle, plus a fixed latency to data. Grant timing
+ * delegates to the seed AddressBus, so equivalence with it holds by
+ * construction: a stream of n elements granted at cycle s occupies
+ * [s, s+n) and element i's data arrives at s + i + latency.
+ */
+class FlatBus : public MemorySystem
+{
+  public:
+    explicit FlatBus(unsigned latency) : latency_(latency) {}
+
+    MemAccess
+    reserve(Cycle earliest, Addr, int64_t, unsigned elems) override
+    {
+        MemAccess acc;
+        if (elems == 0) {
+            acc.start = acc.end = earliest;
+            acc.firstData = acc.lastData = earliest + latency_;
+            return acc;
+        }
+        acc.start = bus_.reserve(earliest, elems);
+        acc.end = acc.start + elems;
+        acc.firstData = acc.start + latency_;
+        acc.lastData = acc.end + latency_;
+        stats_.requests = bus_.requests();
+        return acc;
+    }
+
+    Cycle freeAt() const override { return bus_.freeAt(); }
+
+    /** The bus already records its occupancy; don't store it twice. */
+    const IntervalRecorder &busy() const override { return bus_.busy(); }
+
+  private:
+    unsigned latency_;
+    AddressBus bus_;
+};
+
+/**
+ * Interleaved banks behind a small set of address ports. Addresses
+ * of one stream are generated in order; each element takes the first
+ * cycle with both a free port slot and a free bank, and then holds
+ * its bank for bankBusyCycles. Streams themselves are serialized by
+ * the single memory unit, as on the flat bus.
+ */
+class BankedMemory : public MemorySystem
+{
+  public:
+    BankedMemory(const MemConfig &cfg, unsigned latency)
+        : latency_(latency), banks_(cfg.banks),
+          ports_(cfg.addressPorts), bankBusy_(cfg.bankBusyCycles),
+          interleave_(std::max(cfg.interleaveBytes, 1u)),
+          bankFreeAt_(cfg.banks, 0)
+    {
+    }
+
+    MemAccess
+    reserve(Cycle earliest, Addr addr, int64_t stride,
+            unsigned elems) override
+    {
+        MemAccess acc;
+        if (elems == 0) {
+            acc.start = acc.end = earliest;
+            acc.firstData = acc.lastData = earliest + latency_;
+            return acc;
+        }
+        Cycle cur = std::max(earliest, unitFreeAt_);
+        Cycle last = cur;
+        BusyRunMerger busy(busy_);
+        for (unsigned i = 0; i < elems; ++i) {
+            Addr a = addr + static_cast<int64_t>(i) * stride;
+            unsigned bank =
+                static_cast<unsigned>((a / interleave_) % banks_);
+            Cycle t = portSlot(cur);
+            if (bankFreeAt_[bank] > t) {
+                Cycle delayed = portSlot(bankFreeAt_[bank]);
+                ++stats_.bankConflicts;
+                stats_.conflictCycles += delayed - t;
+                t = delayed;
+            }
+            takePort(t);
+            bankFreeAt_[bank] = t + bankBusy_;
+            busy.add(t);
+            if (i == 0)
+                acc.start = t;
+            last = t;
+            cur = t;
+        }
+        stats_.requests += elems;
+        acc.end = last + 1;
+        acc.firstData = acc.start + latency_;
+        acc.lastData = last + 1 + latency_;
+        unitFreeAt_ = acc.end;
+        return acc;
+    }
+
+    Cycle freeAt() const override { return unitFreeAt_; }
+
+  private:
+    /** First cycle >= @p c with a free address-port slot. */
+    Cycle
+    portSlot(Cycle c) const
+    {
+        if (c < portCycle_)
+            c = portCycle_;
+        if (c == portCycle_ && portsUsed_ >= ports_)
+            return portCycle_ + 1;
+        return c;
+    }
+
+    void
+    takePort(Cycle t)
+    {
+        if (t > portCycle_) {
+            portCycle_ = t;
+            portsUsed_ = 1;
+        } else {
+            ++portsUsed_;
+        }
+    }
+
+    unsigned latency_;
+    unsigned banks_;
+    unsigned ports_;
+    unsigned bankBusy_;
+    unsigned interleave_;
+    std::vector<Cycle> bankFreeAt_;
+    Cycle unitFreeAt_ = 0;
+    Cycle portCycle_ = 0;
+    unsigned portsUsed_ = 0;
+};
+
+/**
+ * A non-blocking set-associative cache in front of a backing model.
+ * The front drives one element address per cycle. Hits return data
+ * after cacheHitLatency (or when their line's outstanding fill
+ * lands). A miss claims an MSHR — stalling the address stream when
+ * none is free — and fetches the whole line from the backing model;
+ * later accesses to that line merge with the in-flight fill. Loads
+ * and stores are treated uniformly (allocate-on-miss), which keeps
+ * the model simple and symmetric with the other two.
+ */
+class CachedMemory : public MemorySystem
+{
+  public:
+    CachedMemory(const MemConfig &cfg, unsigned latency)
+        : hitLat_(cfg.cacheHitLatency),
+          lineBytes_(std::max(cfg.lineBytes, kWordBytes)),
+          assoc_(std::max(cfg.associativity, 1u)),
+          lineElems_(std::max(cfg.lineBytes / kWordBytes, 1u))
+    {
+        sets_ = std::max(cfg.cacheBytes / (lineBytes_ * assoc_), 1u);
+        ways_.assign(static_cast<size_t>(sets_) * assoc_, Way{});
+        mshrFreeAt_.assign(std::max(cfg.mshrs, 1u), 0);
+        MemConfig back = cfg;
+        back.model = cfg.backing == MemModel::Banked
+                         ? MemModel::Banked
+                         : MemModel::FlatBus;
+        backing_ = makeMemorySystem(back, latency);
+    }
+
+    MemAccess
+    reserve(Cycle earliest, Addr addr, int64_t stride,
+            unsigned elems) override
+    {
+        MemAccess acc;
+        if (elems == 0) {
+            acc.start = acc.end = earliest;
+            acc.firstData = acc.lastData = earliest + hitLat_;
+            return acc;
+        }
+        Cycle cur = std::max(earliest, unitFreeAt_);
+        Cycle last = cur;
+        Cycle maxDataAt = 0;
+        BusyRunMerger busy(busy_);
+        for (unsigned i = 0; i < elems; ++i) {
+            Addr a = addr + static_cast<int64_t>(i) * stride;
+            Addr line = a / lineBytes_;
+            Cycle t = cur;
+            Cycle dataAt;
+            if (Way *w = lookup(line)) {
+                ++stats_.cacheHits;
+                dataAt = std::max(t + hitLat_, w->fillDone);
+                w->lastUse = t;
+            } else {
+                ++stats_.cacheMisses;
+                auto m = std::min_element(mshrFreeAt_.begin(),
+                                          mshrFreeAt_.end());
+                if (*m > t) {
+                    stats_.mshrStallCycles += *m - t;
+                    t = *m;
+                }
+                MemAccess fill = backing_->reserve(
+                    t, line * lineBytes_, kWordBytes, lineElems_);
+                // fill.lastData is one past the last element's
+                // arrival; the line is usable on the arrival cycle
+                // itself (dataAt is a closed arrival time, like the
+                // hit path's t + hitLat_).
+                dataAt = fill.lastData - 1;
+                *m = fill.lastData;
+                Way &v = victim(line, t);
+                v.line = line;
+                v.valid = true;
+                v.lastUse = t;
+                v.fillDone = dataAt;
+            }
+            busy.add(t);
+            if (i == 0) {
+                acc.start = t;
+                acc.firstData = dataAt;
+            }
+            maxDataAt = std::max(maxDataAt, dataAt);
+            last = t;
+            cur = t + 1;
+        }
+        // "requests" means bus traffic (the figure-13 metric): a
+        // cache's job is to shrink it, so report the backing model's
+        // line-fill elements, not the CPU-side element count (which
+        // is cacheHits + cacheMisses).
+        stats_.requests = backing_->stats().requests;
+        stats_.bankConflicts = backing_->stats().bankConflicts;
+        stats_.conflictCycles = backing_->stats().conflictCycles;
+        acc.end = last + 1;
+        acc.lastData = maxDataAt + 1;
+        unitFreeAt_ = acc.end;
+        return acc;
+    }
+
+    Cycle freeAt() const override { return unitFreeAt_; }
+
+  private:
+    struct Way
+    {
+        Addr line = 0;
+        bool valid = false;
+        Cycle lastUse = 0;
+        Cycle fillDone = 0;
+    };
+
+    Way *
+    lookup(Addr line)
+    {
+        Way *set = &ways_[(line % sets_) * assoc_];
+        for (unsigned w = 0; w < assoc_; ++w)
+            if (set[w].valid && set[w].line == line)
+                return &set[w];
+        return nullptr;
+    }
+
+    /** LRU victim in @p line's set (invalid ways first). */
+    Way &
+    victim(Addr line, Cycle)
+    {
+        Way *set = &ways_[(line % sets_) * assoc_];
+        Way *best = &set[0];
+        for (unsigned w = 0; w < assoc_; ++w) {
+            if (!set[w].valid)
+                return set[w];
+            if (set[w].lastUse < best->lastUse)
+                best = &set[w];
+        }
+        return *best;
+    }
+
+    unsigned hitLat_;
+    unsigned lineBytes_;
+    unsigned assoc_;
+    unsigned lineElems_;
+    unsigned sets_;
+    std::vector<Way> ways_;
+    std::vector<Cycle> mshrFreeAt_;
+    std::unique_ptr<MemorySystem> backing_;
+    Cycle unitFreeAt_ = 0;
+};
+
+} // namespace
+
+std::string
+MemConfig::label() const
+{
+    switch (model) {
+      case MemModel::FlatBus:
+        return "";
+      case MemModel::Banked:
+        return csprintf("/mb%up%u", banks, addressPorts);
+      case MemModel::Cached: {
+        std::string l = csprintf("/c%uk%uw%um", cacheBytes / 1024,
+                                 associativity, mshrs);
+        if (backing == MemModel::Banked)
+            l += csprintf("b%u", banks);
+        return l;
+      }
+    }
+    return "";
+}
+
+MemConfig
+makeBankedMem(unsigned banks, unsigned address_ports,
+              unsigned bank_busy_cycles)
+{
+    MemConfig cfg;
+    cfg.model = MemModel::Banked;
+    cfg.banks = banks;
+    cfg.addressPorts = address_ports;
+    cfg.bankBusyCycles = bank_busy_cycles;
+    return cfg;
+}
+
+MemConfig
+makeCachedMem(unsigned cache_bytes, unsigned mshrs, MemModel backing)
+{
+    MemConfig cfg;
+    cfg.model = MemModel::Cached;
+    cfg.cacheBytes = cache_bytes;
+    cfg.mshrs = mshrs;
+    cfg.backing = backing;
+    return cfg;
+}
+
+std::unique_ptr<MemorySystem>
+makeMemorySystem(const MemConfig &cfg, unsigned mem_latency)
+{
+    switch (cfg.model) {
+      case MemModel::FlatBus:
+        return std::make_unique<FlatBus>(mem_latency);
+      case MemModel::Banked:
+        if (cfg.banks == 0 || cfg.addressPorts == 0)
+            fatal("banked memory needs >= 1 bank and >= 1 port");
+        return std::make_unique<BankedMemory>(cfg, mem_latency);
+      case MemModel::Cached:
+        if (cfg.backing == MemModel::Cached)
+            fatal("cache backing must be FlatBus or Banked");
+        return std::make_unique<CachedMemory>(cfg, mem_latency);
+    }
+    panic("unknown memory model %d", static_cast<int>(cfg.model));
+}
+
+} // namespace oova

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * The pluggable memory hierarchy.
+ *
+ * The paper's memory system (section 2.2) is the simplest possible:
+ * one contended address bus and a fixed main-memory latency. That
+ * model is preserved here as FlatBus, the default, and every paper
+ * figure is byte-identical under it. Two richer models slot in
+ * behind the same interface:
+ *
+ *  - BankedMemory: N interleaved banks with a per-bank busy time and
+ *    a configurable number of address ports, so strided vector
+ *    streams suffer realistic bank conflicts (stride vs. bank-count
+ *    interactions, as in multi-banked vector machines such as Ara
+ *    and the RISC-V vector evaluations of Ramirez et al.).
+ *  - CachedMemory: a simple non-blocking cache front (configurable
+ *    size / line / associativity, MSHR-limited outstanding misses)
+ *    over either backing model.
+ *
+ * The interface is stream-oriented, matching how both simulators
+ * talk to memory: a memory instruction reserves a stream of element
+ * accesses (base address + stride) and gets back the address-phase
+ * occupancy window plus the data arrival window, from which the
+ * simulators derive chaining and completion times. The memory
+ * latency lives inside the model (FlatBus adds the fixed latency;
+ * CachedMemory shortens it on hits).
+ */
+
+#ifndef OOVA_MEM_MEMSYSTEM_HH
+#define OOVA_MEM_MEMSYSTEM_HH
+
+#include <memory>
+#include <string>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace oova
+{
+
+/** Which concrete memory model to instantiate. */
+enum class MemModel : uint8_t
+{
+    FlatBus, ///< the paper's single address bus + fixed latency
+    Banked,  ///< interleaved banks, address ports, bank busy time
+    Cached,  ///< non-blocking cache front over a backing model
+};
+
+/** Memory-hierarchy configuration, embedded in both machine configs. */
+struct MemConfig
+{
+    MemModel model = MemModel::FlatBus;
+
+    // ---- BankedMemory knobs ----
+    /** Number of interleaved banks (power of two recommended). */
+    unsigned banks = 8;
+    /** Addresses the memory unit can drive per cycle. */
+    unsigned addressPorts = 1;
+    /** Cycles a bank stays busy after accepting one access. */
+    unsigned bankBusyCycles = 4;
+    /** Interleave granularity in bytes (one element by default). */
+    unsigned interleaveBytes = 8;
+
+    // ---- CachedMemory knobs ----
+    /** Backing model behind the cache (FlatBus or Banked). */
+    MemModel backing = MemModel::FlatBus;
+    unsigned cacheBytes = 32 * 1024;
+    unsigned lineBytes = 64;
+    unsigned associativity = 4;
+    /** Outstanding-miss registers; misses stall when all are busy. */
+    unsigned mshrs = 8;
+    /** Data latency of a cache hit. */
+    unsigned cacheHitLatency = 2;
+
+    /**
+     * Config suffix appended to machine names, e.g. "/mb8p1" or
+     * "/c32k4w8m". Empty for the default FlatBus so the seed
+     * machine labels (and every paper table) are unchanged.
+     */
+    std::string label() const;
+};
+
+/** Convenience builder for a banked configuration. */
+MemConfig makeBankedMem(unsigned banks, unsigned address_ports = 1,
+                        unsigned bank_busy_cycles = 4);
+
+/** Convenience builder for a cached configuration. */
+MemConfig makeCachedMem(unsigned cache_bytes = 32 * 1024,
+                        unsigned mshrs = 8,
+                        MemModel backing = MemModel::FlatBus);
+
+/**
+ * Timing of one reserved element stream. All windows are half-open.
+ * For the flat bus: start = bus grant, end = start + elems,
+ * firstData = start + latency, lastData = end + latency.
+ */
+struct MemAccess
+{
+    /** Cycle the first address is driven. */
+    Cycle start = 0;
+    /** Cycle past the last address slot (address-phase end). */
+    Cycle end = 0;
+    /** Cycle the first element's data is available. */
+    Cycle firstData = 0;
+    /** Cycle past the last element's data. */
+    Cycle lastData = 0;
+};
+
+/** Occupancy and conflict counters, all zero on the flat bus. */
+struct MemStats
+{
+    /**
+     * Element requests driven on the memory bus (the "requests" of
+     * figure 13). Under CachedMemory this is the backing model's
+     * line-fill traffic — the quantity a cache exists to shrink —
+     * while the CPU-side access count is cacheHits + cacheMisses.
+     */
+    uint64_t requests = 0;
+    /** Element issues that found their bank busy. */
+    uint64_t bankConflicts = 0;
+    /** Cycles those elements waited beyond port availability. */
+    uint64_t conflictCycles = 0;
+    uint64_t cacheHits = 0;
+    uint64_t cacheMisses = 0;
+    /** Cycles misses waited for a free MSHR. */
+    uint64_t mshrStallCycles = 0;
+};
+
+/**
+ * Abstract memory system. One instance per simulated machine; not
+ * thread-safe (each sweep job owns its own machine).
+ *
+ * Streams are reserved by one memory unit in issue order, so every
+ * model serializes address phases across streams: a new stream
+ * starts no earlier than freeAt(). Within a stream, the banked model
+ * may drive several addresses per cycle (addressPorts) or dilate the
+ * phase on bank conflicts.
+ */
+class MemorySystem
+{
+  public:
+    virtual ~MemorySystem() = default;
+
+    /**
+     * Reserve a stream of @p elems element accesses starting at
+     * @p addr with byte stride @p stride_bytes, no earlier than
+     * @p earliest. Zero-element reservations are a no-op returning
+     * an empty window at @p earliest.
+     */
+    virtual MemAccess reserve(Cycle earliest, Addr addr,
+                              int64_t stride_bytes,
+                              unsigned elems) = 0;
+
+    /** First cycle a new stream's address phase could begin. */
+    virtual Cycle freeAt() const = 0;
+
+    /** Occupancy and conflict counters. */
+    const MemStats &stats() const { return stats_; }
+
+    /** Address-phase busy intervals (the MEM state component). */
+    virtual const IntervalRecorder &busy() const { return busy_; }
+
+  protected:
+    MemStats stats_;
+    IntervalRecorder busy_;
+};
+
+/**
+ * Instantiate the model selected by @p cfg. @p mem_latency is the
+ * main-memory latency in cycles (from the machine's LatencyTable, so
+ * the existing latency sweeps apply to every model).
+ */
+std::unique_ptr<MemorySystem> makeMemorySystem(const MemConfig &cfg,
+                                               unsigned mem_latency);
+
+} // namespace oova
+
+#endif // OOVA_MEM_MEMSYSTEM_HH

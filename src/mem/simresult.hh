@@ -55,6 +55,13 @@ struct SimResult
     uint64_t memBusyCycles = 0;  ///< address-bus busy cycles
     uint64_t memRequests = 0;    ///< element requests on the bus
 
+    // Memory-hierarchy detail; all zero under the default FlatBus.
+    uint64_t memBankConflicts = 0;  ///< element issues that hit a busy bank
+    uint64_t memConflictCycles = 0; ///< cycles lost waiting on banks
+    uint64_t cacheHits = 0;
+    uint64_t cacheMisses = 0;
+    uint64_t mshrStallCycles = 0;   ///< cycles misses waited for an MSHR
+
     // OOOVA-only detail.
     uint64_t vectorLoadsEliminated = 0;
     uint64_t scalarLoadsEliminated = 0;

@@ -4,7 +4,7 @@
 #include <array>
 
 #include "common/logging.hh"
-#include "mem/membus.hh"
+#include "mem/memsystem.hh"
 
 namespace oova
 {
@@ -25,7 +25,8 @@ class RefMachine
 {
   public:
     RefMachine(const Trace &trace, const RefConfig &cfg)
-        : trace_(trace), cfg_(cfg), lat_(cfg.lat)
+        : trace_(trace), cfg_(cfg), lat_(cfg.lat),
+          mem_(makeMemorySystem(cfg.mem, cfg.lat.memLatency))
     {
         aReady_.fill(0);
         sReady_.fill(0);
@@ -65,7 +66,7 @@ class RefMachine
     Cycle fu1Free_ = 0;
     Cycle fu2Free_ = 0;
     Cycle memUnitFree_ = 0;
-    AddressBus bus_;
+    std::unique_ptr<MemorySystem> mem_;
     IntervalRecorder fu1Rec_;
     IntervalRecorder fu2Rec_;
 
@@ -272,18 +273,23 @@ RefMachine::run()
             }
         } else if (inst.isVectorMem()) {
             ip.raise(memUnitFree_, StallCause::MemUnit);
+            // Indexed accesses walk their region word by word (the
+            // element addresses are unknown ahead of time).
+            int64_t stride = inst.isIndexedMem()
+                                 ? static_cast<int64_t>(inst.elemSize)
+                                 : inst.strideBytes;
             if (inst.isLoad()) {
                 if (inst.dst.cls == RegClass::V)
                     ip.raise(writePortConstraint(inst.dst),
                              StallCause::Ports);
                 Cycle t = ip.t;
-                Cycle s = bus_.reserve(t + lat_.vectorStartup,
-                                       inst.vl);
-                memUnitFree_ = s + inst.vl;
+                MemAccess a =
+                    mem_->reserve(t + lat_.vectorStartup, inst.addr,
+                                  stride, inst.vl);
+                memUnitFree_ = a.end;
                 VRegState &d = vreg_[inst.dst.idx];
-                d.writeStart = s + lat_.memLatency +
-                               lat_.writeXbarVector;
-                d.writeEnd = d.writeStart + inst.vl;
+                d.writeStart = a.firstData + lat_.writeXbarVector;
+                d.writeEnd = a.lastData + lat_.writeXbarVector;
                 d.writerIsLoad = true;
                 occupyWritePort(inst.dst, d.writeEnd);
                 finish(d.writeEnd);
@@ -293,10 +299,11 @@ RefMachine::run()
                 ip.raise(readPortConstraint(data),
                          StallCause::Ports);
                 Cycle t = ip.t;
-                Cycle s = bus_.reserve(t + lat_.vectorStartup,
-                                       inst.vl);
-                memUnitFree_ = s + inst.vl;
-                Cycle read_done = s + inst.vl;
+                MemAccess a =
+                    mem_->reserve(t + lat_.vectorStartup, inst.addr,
+                                  stride, inst.vl);
+                memUnitFree_ = a.end;
+                Cycle read_done = a.end;
                 vreg_[data.idx].lastReadEnd =
                     std::max(vreg_[data.idx].lastReadEnd, read_done);
                 occupyReadPort(data, read_done);
@@ -306,14 +313,15 @@ RefMachine::run()
             // Scalar memory.
             Cycle t = ip.t;
             if (inst.isLoad()) {
-                Cycle s = bus_.reserve(t, 1);
-                Cycle ready = s + lat_.memLatency +
-                              lat_.writeXbarScalar;
+                MemAccess a = mem_->reserve(t, inst.addr,
+                                            inst.elemSize, 1);
+                Cycle ready = a.firstData + lat_.writeXbarScalar;
                 scalarReady(inst.dst) = ready;
                 finish(ready);
             } else {
-                Cycle s = bus_.reserve(t, 1);
-                finish(s + 1);
+                MemAccess a = mem_->reserve(t, inst.addr,
+                                            inst.elemSize, 1);
+                finish(a.start + 1);
             }
         } else if (inst.isBranch()) {
             Cycle t = ip.t;
@@ -346,16 +354,21 @@ RefMachine::run()
 
     SimResult res;
     res.program = trace_.name();
-    res.machine = "REF";
+    res.machine = "REF" + cfg_.mem.label();
     res.cycles = endCycle_;
     res.instructions = trace_.size();
     res.fu1BusyCycles = fu1Rec_.busyCycles();
     res.fu2BusyCycles = fu2Rec_.busyCycles();
-    res.memBusyCycles = bus_.busy().busyCycles();
-    res.memRequests = bus_.requests();
+    res.memBusyCycles = mem_->busy().busyCycles();
+    res.memRequests = mem_->stats().requests;
+    res.memBankConflicts = mem_->stats().bankConflicts;
+    res.memConflictCycles = mem_->stats().conflictCycles;
+    res.cacheHits = mem_->stats().cacheHits;
+    res.cacheMisses = mem_->stats().cacheMisses;
+    res.mshrStallCycles = mem_->stats().mshrStallCycles;
     res.stallCycles = stallCycles_;
     res.stateCycles = UnitStateBreakdown::compute(
-        fu2Rec_, fu1Rec_, bus_.busy(), endCycle_);
+        fu2Rec_, fu1Rec_, mem_->busy(), endCycle_);
     return res;
 }
 

@@ -26,6 +26,7 @@
 #define OOVA_REF_REFSIM_HH
 
 #include "isa/latency.hh"
+#include "mem/memsystem.hh"
 #include "mem/simresult.hh"
 #include "trace/trace.hh"
 
@@ -55,6 +56,13 @@ struct RefConfig
 
     /** Pipeline depth charged on taken branches. */
     unsigned takenBranchPenalty = 3;
+
+    /**
+     * The memory hierarchy (default: the paper's flat address bus;
+     * see mem/memsystem.hh). Non-default models are reflected in the
+     * result's machine label, e.g. "REF/mb8p1".
+     */
+    MemConfig mem;
 };
 
 /** Run @p trace through the reference machine. */

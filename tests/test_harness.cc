@@ -45,6 +45,33 @@ testBatch(const TraceCache &traces)
 
 } // namespace
 
+TEST(SweepEngine, InlineTraceJobsBypassTheCache)
+{
+    // Synthetic traces (e.g. the memstride figure's strided kernels)
+    // ride through the engine via SweepJob::inlineTrace instead of a
+    // TraceCache name lookup.
+    Trace t("inline-synthetic");
+    for (int i = 0; i < 4; ++i)
+        t.push(makeVLoad(vReg(static_cast<uint8_t>(i % 8)), aReg(0),
+                         0x1000 + static_cast<Addr>(i) * 0x4000, 8,
+                         64));
+    auto shared = std::make_shared<const Trace>(std::move(t));
+
+    TraceCache traces(kTestScale);
+    SweepEngine engine(traces, 2);
+    std::vector<SweepJob> jobs = {
+        oooTraceJob(shared, makeOooConfig(16, 16, 50)),
+        oooTraceJob(shared, makeBankedOooConfig(1, 50)),
+    };
+    std::vector<SimResult> res = engine.run(jobs);
+    ASSERT_EQ(res.size(), 2u);
+    EXPECT_EQ(res[0].program, "inline-synthetic");
+    EXPECT_GT(res[0].cycles, 0u);
+    // One bank at a 4-cycle busy time must be slower than the flat
+    // bus on back-to-back unit-stride loads.
+    EXPECT_GT(res[1].cycles, res[0].cycles);
+}
+
 TEST(SweepEngine, SameResultsAtOneAndEightThreads)
 {
     TraceCache traces(kTestScale);
@@ -221,10 +248,13 @@ TEST(Speedup, ZeroCyclesIsNaNNotZero)
 TEST(FigureRegistry, AllFiguresRegisteredAndFindable)
 {
     const auto &registry = figureRegistry();
-    EXPECT_EQ(registry.size(), 15u);
+    EXPECT_EQ(registry.size(), 18u);
     EXPECT_NE(findFigure("fig5"), nullptr);
     EXPECT_NE(findFigure("fig5_speedup"), nullptr);
     EXPECT_EQ(findFigure("fig5"), findFigure("fig5_speedup"));
+    EXPECT_NE(findFigure("membank"), nullptr);
+    EXPECT_NE(findFigure("mem_stride"), nullptr);
+    EXPECT_EQ(findFigure("memlat"), findFigure("mem_latbanks"));
     EXPECT_EQ(findFigure("nope"), nullptr);
 }
 

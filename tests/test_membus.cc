@@ -46,6 +46,21 @@ TEST(AddressBus, LaterEarliestWins)
     EXPECT_EQ(bus.reserve(50, 2), 50u);
 }
 
+TEST(AddressBus, ZeroElementReservationIsNoop)
+{
+    AddressBus bus;
+    bus.reserve(0, 5);
+    // A zero-element reservation returns its earliest untouched —
+    // even one before freeAt() — and advances no state: no empty
+    // busy interval, no requests, no bus occupancy.
+    EXPECT_EQ(bus.reserve(2, 0), 2u);
+    EXPECT_EQ(bus.freeAt(), 5u);
+    EXPECT_EQ(bus.requests(), 5u);
+    EXPECT_EQ(bus.busy().count(), 1u);
+    EXPECT_EQ(bus.reserve(100, 0), 100u);
+    EXPECT_EQ(bus.freeAt(), 5u);
+}
+
 TEST(StallCause, NamesAreStable)
 {
     EXPECT_STREQ(stallCauseName(StallCause::ScalarDep), "scalar-dep");

@@ -1,0 +1,376 @@
+/**
+ * @file
+ * Tests for the pluggable memory hierarchy: FlatBus equivalence with
+ * the seed AddressBus, banked-memory bank mapping and port
+ * arbitration, cache hit/miss/MSHR behaviour, and the config labels
+ * threaded into machine names.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/ooosim.hh"
+#include "harness/experiment.hh"
+#include "mem/membus.hh"
+#include "mem/memsystem.hh"
+#include "ref/refsim.hh"
+#include "tgen/benchmarks.hh"
+
+using namespace oova;
+
+namespace
+{
+
+std::unique_ptr<MemorySystem>
+makeFlat(unsigned latency = 50)
+{
+    return makeMemorySystem(MemConfig{}, latency);
+}
+
+std::unique_ptr<MemorySystem>
+makeBanked(unsigned banks, unsigned ports = 1, unsigned busy = 4,
+           unsigned latency = 50)
+{
+    MemConfig cfg = makeBankedMem(banks, ports, busy);
+    return makeMemorySystem(cfg, latency);
+}
+
+} // namespace
+
+// ---------------------------------------------------------- FlatBus
+
+TEST(FlatBus, MatchesAddressBusTimings)
+{
+    AddressBus bus;
+    auto flat = makeFlat(50);
+    // A mix of back-to-back, gapped, and overlapping-request shapes.
+    const std::pair<Cycle, unsigned> seq[] = {
+        {0, 4},  {0, 1},   {2, 8},  {40, 16}, {40, 1},
+        {41, 3}, {100, 128}, {90, 2}, {400, 64}, {400, 64},
+    };
+    for (auto [earliest, elems] : seq) {
+        Cycle s = bus.reserve(earliest, elems);
+        MemAccess a = flat->reserve(earliest, 0x1000, 8, elems);
+        EXPECT_EQ(a.start, s);
+        EXPECT_EQ(a.end, s + elems);
+        EXPECT_EQ(a.firstData, s + 50);
+        EXPECT_EQ(a.lastData, s + elems + 50);
+        EXPECT_EQ(flat->freeAt(), bus.freeAt());
+    }
+    EXPECT_EQ(flat->stats().requests, bus.requests());
+    EXPECT_EQ(flat->busy().busyCycles(), bus.busy().busyCycles());
+    EXPECT_EQ(flat->stats().bankConflicts, 0u);
+}
+
+TEST(FlatBus, ReproducesSeedTimingsOnGeneratedTrace)
+{
+    // Replay every memory instruction of a generated benchmark trace
+    // through both the seed AddressBus and the FlatBus model,
+    // instruction for instruction, with a deterministic spread of
+    // request cycles.
+    GenOptions opts;
+    opts.scale = 0.02;
+    Trace t = makeBenchmarkTrace("swm256", opts);
+    AddressBus bus;
+    auto flat = makeFlat(50);
+    Cycle earliest = 0;
+    size_t mem_ops = 0;
+    for (const DynInst &di : t) {
+        if (!di.isMem())
+            continue;
+        ++mem_ops;
+        unsigned elems = di.memElems();
+        Cycle s = bus.reserve(earliest, elems);
+        MemAccess a =
+            flat->reserve(earliest, di.addr, di.strideBytes, elems);
+        ASSERT_EQ(a.start, s);
+        ASSERT_EQ(a.end, s + elems);
+        ASSERT_EQ(flat->freeAt(), bus.freeAt());
+        earliest += 3; // let some requests queue, some find it idle
+    }
+    ASSERT_GT(mem_ops, 10u);
+    EXPECT_EQ(flat->stats().requests, bus.requests());
+    EXPECT_EQ(flat->busy().busyCycles(), bus.busy().busyCycles());
+}
+
+TEST(MemorySystem, ZeroElementReservationIsNoop)
+{
+    auto flat = makeFlat();
+    auto banked = makeBanked(8);
+    auto cached = makeMemorySystem(makeCachedMem(), 50);
+    for (MemorySystem *m :
+         {flat.get(), banked.get(), cached.get()}) {
+        MemAccess a = m->reserve(42, 0x1000, 8, 0);
+        EXPECT_EQ(a.start, 42u);
+        EXPECT_EQ(a.end, 42u);
+        EXPECT_EQ(m->freeAt(), 0u) << "no occupancy recorded";
+        EXPECT_EQ(m->stats().requests, 0u);
+        EXPECT_EQ(m->busy().busyCycles(), 0u);
+    }
+}
+
+// ----------------------------------------------------- BankedMemory
+
+TEST(BankedMemory, UnitStrideCoversAllBanksWithoutConflict)
+{
+    // Stride 1 over 8 banks: each bank is revisited only every 8
+    // cycles, beyond the 4-cycle busy time, so the stream drives one
+    // address per cycle like the flat bus.
+    auto mem = makeBanked(8, 1, 4);
+    MemAccess a = mem->reserve(0, 0, 8, 32);
+    EXPECT_EQ(a.start, 0u);
+    EXPECT_EQ(a.end, 32u);
+    EXPECT_EQ(mem->stats().bankConflicts, 0u);
+    EXPECT_EQ(mem->stats().conflictCycles, 0u);
+}
+
+TEST(BankedMemory, BankCountStrideSerializesOnOneBank)
+{
+    // Stride == bank count: every element maps to bank 0 and must
+    // wait out the 4-cycle busy time — the address phase dilates to
+    // busy * elems.
+    auto mem = makeBanked(8, 1, 4);
+    MemAccess a = mem->reserve(0, 0, 8 * 8, 16);
+    EXPECT_EQ(a.start, 0u);
+    EXPECT_EQ(a.end, 15u * 4 + 1);
+    EXPECT_EQ(mem->stats().bankConflicts, 15u);
+    EXPECT_GT(mem->stats().conflictCycles, 0u);
+}
+
+TEST(BankedMemory, CoPrimeStrideAvoidsConflicts)
+{
+    // Stride 3 (co-prime with 8) permutes all banks before reuse.
+    auto mem = makeBanked(8, 1, 4);
+    MemAccess a = mem->reserve(0, 0, 3 * 8, 32);
+    EXPECT_EQ(a.end, 32u);
+    EXPECT_EQ(mem->stats().bankConflicts, 0u);
+}
+
+TEST(BankedMemory, StrideTwoHalvesTheBankPool)
+{
+    // Stride 2 on 4 banks touches 2 banks; with busy 4 the reuse
+    // distance (2 cycles) is under the busy time, so the stream
+    // degrades to one element every busy/2 = 2 cycles steady state.
+    auto mem = makeBanked(4, 1, 4);
+    MemAccess a = mem->reserve(0, 0, 2 * 8, 16);
+    EXPECT_GT(a.end, 24u);
+    EXPECT_GT(mem->stats().bankConflicts, 0u);
+}
+
+TEST(BankedMemory, PortArbitrationLimitsIssueRate)
+{
+    // Two ports, plenty of banks: two addresses per cycle, so 16
+    // elements drain in 8 cycles. The first element still defines
+    // the start.
+    auto mem = makeBanked(16, 2, 1);
+    MemAccess a = mem->reserve(10, 0, 8, 16);
+    EXPECT_EQ(a.start, 10u);
+    EXPECT_EQ(a.end, 18u);
+    EXPECT_EQ(mem->stats().bankConflicts, 0u);
+}
+
+TEST(BankedMemory, StreamsSerializeInOrder)
+{
+    // The single memory unit serializes streams: a second stream
+    // with an earlier "earliest" still starts after the first one's
+    // address phase.
+    auto mem = makeBanked(8, 1, 4);
+    MemAccess a = mem->reserve(5, 0, 8, 8);
+    EXPECT_EQ(a.end, 13u);
+    MemAccess b = mem->reserve(0, 0x800, 8, 8);
+    EXPECT_GE(b.start, a.end);
+    EXPECT_EQ(mem->freeAt(), b.end);
+}
+
+TEST(BankedMemory, DataFollowsAddressPhase)
+{
+    auto mem = makeBanked(8, 1, 4, 100);
+    MemAccess a = mem->reserve(0, 0, 8, 8);
+    EXPECT_EQ(a.firstData, a.start + 100);
+    EXPECT_EQ(a.lastData, a.end + 100);
+}
+
+// ----------------------------------------------------- CachedMemory
+
+TEST(CachedMemory, UnitStrideMissesOncePerLine)
+{
+    // 64-byte lines, 8-byte words: 1 miss + 7 hits per line.
+    auto mem = makeMemorySystem(makeCachedMem(32 * 1024, 8), 50);
+    mem->reserve(0, 0, 8, 64);
+    EXPECT_EQ(mem->stats().cacheMisses, 8u);
+    EXPECT_EQ(mem->stats().cacheHits, 56u);
+}
+
+TEST(CachedMemory, RepeatedStreamHitsInCache)
+{
+    auto mem = makeMemorySystem(makeCachedMem(32 * 1024, 8), 50);
+    MemAccess first = mem->reserve(0, 0, 8, 64);
+    uint64_t misses = mem->stats().cacheMisses;
+    uint64_t traffic = mem->stats().requests;
+    MemAccess again = mem->reserve(first.end, 0, 8, 64);
+    EXPECT_EQ(mem->stats().cacheMisses, misses)
+        << "second pass over the same lines must not miss";
+    EXPECT_EQ(mem->stats().requests, traffic)
+        << "requests = backing bus traffic; an all-hit pass adds none";
+    // All hits: data trails the address phase by the hit latency.
+    EXPECT_LT(again.lastData, again.end + 50);
+}
+
+TEST(CachedMemory, MshrSaturationStallsMisses)
+{
+    // One MSHR and a stride of a whole line: every access misses and
+    // must wait for the previous fill to land before its own can
+    // start.
+    MemConfig one = makeCachedMem(4 * 1024, 1);
+    auto mem1 = makeMemorySystem(one, 50);
+    mem1->reserve(0, 0, 64, 16);
+    EXPECT_EQ(mem1->stats().cacheMisses, 16u);
+    EXPECT_GT(mem1->stats().mshrStallCycles, 0u);
+
+    MemConfig many = makeCachedMem(4 * 1024, 16);
+    auto mem16 = makeMemorySystem(many, 50);
+    mem16->reserve(0, 0, 64, 16);
+    EXPECT_EQ(mem16->stats().cacheMisses, 16u);
+    EXPECT_LT(mem16->stats().mshrStallCycles,
+              mem1->stats().mshrStallCycles)
+        << "more MSHRs must reduce miss serialization";
+}
+
+TEST(CachedMemory, SecondaryMissMergesWithInflightFill)
+{
+    // Two accesses to the same line back to back: the second is a
+    // hit that waits on the in-flight fill rather than a new miss.
+    auto mem = makeMemorySystem(makeCachedMem(32 * 1024, 8), 50);
+    mem->reserve(0, 0, 8, 2);
+    EXPECT_EQ(mem->stats().cacheMisses, 1u);
+    EXPECT_EQ(mem->stats().cacheHits, 1u);
+}
+
+// ------------------------------------------------- config plumbing
+
+TEST(MemConfig, DefaultLabelIsEmpty)
+{
+    MemConfig cfg;
+    EXPECT_EQ(cfg.label(), "");
+    // The default OOOVA name must be byte-identical to the seed's.
+    EXPECT_EQ(OooConfig{}.name(), "OOOVA-16/16r/early");
+}
+
+TEST(MemConfig, LabelsReflectModelParameters)
+{
+    EXPECT_EQ(makeBankedMem(8).label(), "/mb8p1");
+    EXPECT_EQ(makeBankedMem(16, 2).label(), "/mb16p2");
+    EXPECT_EQ(makeCachedMem().label(), "/c32k4w8m");
+    EXPECT_EQ(makeCachedMem(64 * 1024, 4, MemModel::Banked).label(),
+              "/c64k4w4mb8");
+
+    OooConfig ooo;
+    ooo.mem = makeBankedMem(8);
+    EXPECT_EQ(ooo.name(), "OOOVA-16/16r/early/mb8p1");
+}
+
+TEST(MemConfig, RefMachineLabelReflectsModel)
+{
+    Trace t("one-load");
+    t.push(makeVLoad(vReg(0), aReg(0), 0x1000, 8, 16));
+    EXPECT_EQ(simulateRef(t, RefConfig{}).machine, "REF");
+    RefConfig banked;
+    banked.mem = makeBankedMem(4);
+    EXPECT_EQ(simulateRef(t, banked).machine, "REF/mb4p1");
+}
+
+// --------------------------------------------- whole-sim properties
+
+TEST(MemSystemSim, DefaultConfigMatchesSeedModel)
+{
+    // The FlatBus default must leave both simulators' results
+    // untouched relative to an explicitly constructed FlatBus (and,
+    // transitively, the seed AddressBus — see the replay test).
+    GenOptions opts;
+    opts.scale = 0.02;
+    Trace t = makeBenchmarkTrace("trfd", opts);
+    OooConfig flat;
+    flat.mem.model = MemModel::FlatBus;
+    SimResult a = simulateOoo(t, OooConfig{});
+    SimResult b = simulateOoo(t, flat);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.memRequests, b.memRequests);
+    EXPECT_EQ(a.memBusyCycles, b.memBusyCycles);
+    EXPECT_EQ(a.memBankConflicts, 0u);
+    EXPECT_EQ(a.cacheMisses, 0u);
+}
+
+TEST(BankedMemory, UnitStrideStreamsMonotoneInBankCount)
+{
+    // The model-level invariant behind the membank figure: a
+    // unit-stride address stream never drains slower with more
+    // banks. (Whole-simulator cycle counts may wiggle a few cycles
+    // from second-order issue-scheduling effects, so the strict
+    // property is asserted here, on the model.)
+    Cycle prev = kNoCycle;
+    for (unsigned banks : {1u, 2u, 4u, 8u, 16u}) {
+        auto mem = makeBanked(banks, 1, 4);
+        Cycle end = 0;
+        for (unsigned s = 0; s < 8; ++s) {
+            MemAccess a =
+                mem->reserve(end, 0x1000 + s * 0x4000, 8, 64);
+            end = a.end;
+        }
+        EXPECT_LE(end, prev) << banks << " banks";
+        prev = end;
+    }
+}
+
+TEST(MemSystemSim, BankCountScalesOoovaPerformance)
+{
+    GenOptions opts;
+    opts.scale = 0.02;
+    Trace t = makeBenchmarkTrace("swm256", opts);
+    Cycle flat = simulateOoo(t, OooConfig{}).cycles;
+    Cycle b1 = simulateOoo(t, makeBankedOooConfig(1)).cycles;
+    Cycle b16 = simulateOoo(t, makeBankedOooConfig(16)).cycles;
+    // One bank at a 4-cycle busy time roughly quarters the address
+    // rate of this memory-bound program; 16 banks restore the flat
+    // bus's performance to within a few percent.
+    EXPECT_GT(b1, 2 * b16);
+    EXPECT_LT(b16, flat + flat / 20);
+}
+
+TEST(MemSystemSim, BankConflictsSurfaceInResults)
+{
+    GenOptions opts;
+    opts.scale = 0.02;
+    Trace t = makeBenchmarkTrace("su2cor", opts); // stride-2 kernels
+    SimResult r = simulateOoo(t, makeBankedOooConfig(2));
+    EXPECT_GT(r.memBankConflicts, 0u);
+    EXPECT_GT(r.memConflictCycles, 0u);
+}
+
+TEST(MemSystemSim, CachedModelRunsBothSimulators)
+{
+    GenOptions opts;
+    opts.scale = 0.02;
+    Trace t = makeBenchmarkTrace("hydro2d", opts);
+    OooConfig ooo;
+    ooo.mem = makeCachedMem();
+    SimResult a = simulateOoo(t, ooo);
+    EXPECT_GT(a.cycles, 0u);
+    EXPECT_GT(a.cacheHits + a.cacheMisses, 0u);
+    RefConfig ref;
+    ref.mem = makeCachedMem();
+    SimResult b = simulateRef(t, ref);
+    EXPECT_GT(b.cycles, 0u);
+    EXPECT_GT(b.cacheHits + b.cacheMisses, 0u);
+}
+
+TEST(MemSystemSim, CacheOverBankedBacking)
+{
+    GenOptions opts;
+    opts.scale = 0.02;
+    Trace t = makeBenchmarkTrace("flo52", opts);
+    OooConfig cfg;
+    cfg.mem = makeCachedMem(16 * 1024, 4, MemModel::Banked);
+    cfg.mem.banks = 4;
+    SimResult r = simulateOoo(t, cfg);
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_GT(r.cacheMisses, 0u);
+}
