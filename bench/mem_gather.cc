@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Gather index-pattern study: the same gather loop with its index
+ * vector declared as a bank-friendly permutation, congruent mod 8,
+ * and uniform random, against an 8-bank memory. With per-element
+ * bank mapping the three patterns separate cleanly: the permutation
+ * runs conflict-free, congruent-mod-8 serializes on one bank, and
+ * random indices sit in between.
+ */
+
+#include "harness/figure.hh"
+
+int
+main(int argc, char **argv)
+{
+    return oova::runFigureMain("memgather", argc, argv);
+}

@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Multi-unit scaling study: dual-stream microprograms against 1/2/4
+ * load/store memory units over 8 and 16 banks. Independent streams
+ * on disjoint bank sets overlap their address phases as soon as a
+ * second unit exists; a Split (dedicated load/store) policy only
+ * helps when the program actually mixes the two directions.
+ */
+
+#include "harness/figure.hh"
+
+int
+main(int argc, char **argv)
+{
+    return oova::runFigureMain("memunits", argc, argv);
+}

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Golden-figure regression gate.
+#
+# Diffs the text output of every registered figure against the
+# checked-in goldens under tests/golden/, captured at
+# OOVA_SCALE=0.25. Figure output is deterministic across thread
+# counts and machines (pure simulators, submission-order result
+# collection), so any diff is a real behavior change: either a bug,
+# or an intentional model change that must re-capture its goldens
+# with --update in the same commit.
+#
+# Usage:
+#   scripts/check_goldens.sh [path/to/oova_bench]            # check
+#   scripts/check_goldens.sh [path/to/oova_bench] --update   # re-capture
+#
+# simspeed is exempt: it prints wall-clock timings.
+
+# pipefail: a bench binary that dies after printing a matching table
+# must still fail the gate.
+set -u -o pipefail
+
+BENCH="${1:-build/oova_bench}"
+MODE="${2:-check}"
+GOLDEN_DIR="$(cd "$(dirname "$0")/.." && pwd)/tests/golden"
+
+if [ ! -x "$BENCH" ]; then
+    echo "check_goldens: bench binary '$BENCH' not found" >&2
+    exit 2
+fi
+
+# Pin the scale: goldens are only comparable at the scale they were
+# captured at.
+export OOVA_SCALE=0.25
+
+figures="$("$BENCH" --list | awk '{print $1}' | grep -v '^simspeed$')"
+
+if [ "$MODE" = "--update" ]; then
+    mkdir -p "$GOLDEN_DIR"
+    for fig in $figures; do
+        echo "capturing $fig"
+        "$BENCH" "$fig" > "$GOLDEN_DIR/$fig.txt" || exit 1
+    done
+    echo "goldens updated in $GOLDEN_DIR"
+    exit 0
+fi
+
+fail=0
+for fig in $figures; do
+    golden="$GOLDEN_DIR/$fig.txt"
+    if [ ! -f "$golden" ]; then
+        echo "MISSING GOLDEN: $fig (run $0 $BENCH --update)" >&2
+        fail=1
+        continue
+    fi
+    if ! "$BENCH" "$fig" | diff -u "$golden" - > /tmp/golden_diff_$$; then
+        echo "GOLDEN MISMATCH: $fig" >&2
+        cat /tmp/golden_diff_$$ >&2
+        fail=1
+    fi
+done
+rm -f /tmp/golden_diff_$$
+
+# Stale goldens for figures that no longer exist are also an error:
+# they mean the gate is checking nothing.
+for golden in "$GOLDEN_DIR"/*.txt; do
+    fig="$(basename "$golden" .txt)"
+    if ! echo "$figures" | grep -qx "$fig"; then
+        echo "STALE GOLDEN: $fig is not a registered figure" >&2
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "golden-figure gate FAILED" >&2
+    exit 1
+fi
+echo "golden-figure gate passed ($(echo "$figures" | wc -w) figures)"

@@ -27,6 +27,33 @@ constexpr Cycle kNoCycle = std::numeric_limits<Cycle>::max();
 /** Sentinel for an invalid sequence number. */
 constexpr SeqNum kNoSeq = std::numeric_limits<SeqNum>::max();
 
+/**
+ * Shape of a gather/scatter index vector. The trace generator knows
+ * how it built each index vector; recording the shape (instead of
+ * vl full index values) lets the simulators reconstruct the exact
+ * per-element addresses deterministically and hand them to the
+ * memory system, so bank conflicts follow the real access pattern.
+ * See indexedElemAddrs() in isa/instruction.hh.
+ */
+enum class IndexPattern : uint8_t
+{
+    /** Unknown: fall back to a contiguous word walk of the region. */
+    None,
+    /**
+     * A permutation of a contiguous element window — every word of
+     * the window touched exactly once, in a shuffled but
+     * bank-friendly order (e.g. a shuffled table sweep).
+     */
+    Permutation,
+    /**
+     * All indices congruent modulo the pattern parameter m; with m
+     * equal to the bank count every element lands on one bank.
+     */
+    CongruentMod,
+    /** Uniform pseudo-random indices over the whole region. */
+    Random,
+};
+
 } // namespace oova
 
 #endif // OOVA_COMMON_TYPES_HH

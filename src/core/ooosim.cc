@@ -521,6 +521,11 @@ OooMachine::memIssueStep()
         if (e->memIssued || e->faulted)
             continue;
         const DynInst &di = *e->di;
+        MemOp mop = di.isStore() ? MemOp::Store : MemOp::Load;
+        // A unit eligible for this direction must be free (with a
+        // single shared unit this repeats the check above).
+        if (mem_->freeAt(mop) > now_)
+            continue;
         // Late commit: stores update memory only at the ROB head.
         if (cfg_.commit == CommitMode::Late && di.isStore() &&
             (rob_.empty() || rob_.front()->seq != e->seq)) {
@@ -539,15 +544,15 @@ OooMachine::memIssueStep()
             return true;
         }
 
-        unsigned elems = di.memElems();
-        // Gather/scatter element addresses are unknown to the
-        // hardware ahead of time; model them as a word-stride walk
-        // of the region (a neutral bank-mapping assumption).
-        int64_t stride = di.isIndexedMem()
-                             ? static_cast<int64_t>(di.elemSize)
-                             : di.strideBytes;
+        // Gather/scatter reserve their real per-element addresses
+        // (the index vector is fully available at issue), so bank
+        // conflicts follow the actual index pattern; strided ops
+        // reserve base + stride as before.
         MemAccess acc =
-            mem_->reserve(now_, di.addr, stride, elems);
+            di.isIndexedMem()
+                ? mem_->reserve(now_, indexedElemAddrs(di), mop)
+                : mem_->reserve(now_, di.addr, di.strideBytes,
+                                di.memElems(), mop);
         e->memIssued = true;
         e->started = true;
         e->memDoneAt = acc.end;
@@ -935,6 +940,10 @@ OooMachine::nextEventAfter() const
     consider(fu1Free_);
     consider(fu2Free_);
     consider(mem_->freeAt());
+    // Under a split load/store policy the per-direction units can
+    // free later than the global minimum.
+    consider(mem_->freeAt(MemOp::Load));
+    consider(mem_->freeAt(MemOp::Store));
     consider(fetchStalledUntil_);
     for (const RobEntry *e : rob_) {
         consider(e->completeAt);
@@ -1044,6 +1053,8 @@ OooMachine::run()
     res.memRequests = mem_->stats().requests;
     res.memBankConflicts = mem_->stats().bankConflicts;
     res.memConflictCycles = mem_->stats().conflictCycles;
+    res.memIndexedConflicts = mem_->stats().indexedConflicts;
+    res.memIndexedConflictCycles = mem_->stats().indexedConflictCycles;
     res.cacheHits = mem_->stats().cacheHits;
     res.cacheMisses = mem_->stats().cacheMisses;
     res.mshrStallCycles = mem_->stats().mshrStallCycles;

@@ -69,6 +69,15 @@ makeBankedRefConfig(unsigned banks, unsigned mem_latency,
     return cfg;
 }
 
+OooConfig
+makeMultiUnitOooConfig(unsigned banks, unsigned units,
+                       LsPolicy policy, unsigned mem_latency)
+{
+    OooConfig cfg = makeOooConfig(16, 16, mem_latency);
+    cfg.mem = makeMultiUnitMem(banks, units, policy);
+    return cfg;
+}
+
 double
 speedup(const SimResult &base, const SimResult &x)
 {

@@ -72,6 +72,11 @@ RefConfig makeBankedRefConfig(unsigned banks,
                               unsigned mem_latency = 50,
                               unsigned address_ports = 1);
 
+/** Default OOOVA over banked memory with N load/store units. */
+OooConfig makeMultiUnitOooConfig(unsigned banks, unsigned units,
+                                 LsPolicy policy = LsPolicy::Shared,
+                                 unsigned mem_latency = 50);
+
 /**
  * base.cycles / x.cycles — how much faster x is than base. A result
  * with x.cycles == 0 can only come from a broken simulation, so the

@@ -1,5 +1,6 @@
 #include "harness/figure.hh"
 
+#include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -51,19 +52,19 @@ jsonEscape(const std::string &s)
     out.reserve(s.size() + 8);
     for (char c : s) {
         switch (c) {
-          case '"':
+        case '"':
             out += "\\\"";
             break;
-          case '\\':
+        case '\\':
             out += "\\\\";
             break;
-          case '\n':
+        case '\n':
             out += "\\n";
             break;
-          case '\t':
+        case '\t':
             out += "\\t";
             break;
-          default:
+        default:
             if (static_cast<unsigned char>(c) < 0x20)
                 out += csprintf("\\u%04x", c);
             else
@@ -130,17 +131,29 @@ parseCommonFlag(int argc, char **argv, int &i, FigureOptions &opts)
         opts.json = true;
         return 1;
     }
-    if (std::strcmp(arg, "--threads") == 0 && i + 1 < argc) {
-        char *end = nullptr;
-        opts.threads = static_cast<unsigned>(
-            std::strtoul(argv[++i], &end, 10));
-        if (end == argv[i] || *end != '\0') {
-            std::fprintf(stderr, "bad --threads '%s'\n", argv[i]);
+    if (std::strcmp(arg, "--threads") == 0) {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "--threads needs a value\n");
             return -1;
         }
+        // strtoul silently wraps negative input ("-3" becomes a
+        // huge unsigned), so insist on digits and a sane ceiling.
+        const char *val = argv[++i];
+        char *end = nullptr;
+        unsigned long n = std::strtoul(val, &end, 10);
+        if (!std::isdigit(static_cast<unsigned char>(val[0])) ||
+            end == val || *end != '\0' || n > kMaxSweepThreads) {
+            std::fprintf(stderr, "bad --threads '%s'\n", val);
+            return -1;
+        }
+        opts.threads = static_cast<unsigned>(n);
         return 1;
     }
-    if (std::strcmp(arg, "--scale") == 0 && i + 1 < argc) {
+    if (std::strcmp(arg, "--scale") == 0) {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "--scale needs a value\n");
+            return -1;
+        }
         char *end = nullptr;
         opts.scale = std::strtod(argv[++i], &end);
         if (end == argv[i] || *end != '\0' ||

@@ -84,6 +84,12 @@ struct FigureOptions
 };
 
 /**
+ * Largest accepted --threads value: far above any real machine, but
+ * small enough to catch typos and strtoul negative wrap-around.
+ */
+constexpr unsigned kMaxSweepThreads = 4096;
+
+/**
  * Try to consume argv[i] (and its value, if any) as one of the
  * common flags --threads N / --json / --scale S. Returns 1 if
  * consumed (advancing @p i past any value), 0 if argv[i] is not a

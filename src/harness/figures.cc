@@ -817,18 +817,24 @@ figMemStride(const SweepEngine &engine)
     auto t1trace = makeStrideTrace(1);
     size_t flatIdx = js.addOooTrace(t1trace, makeOooConfig(16, 16, 50));
     std::array<size_t, 7> bankedIdx;
+    std::array<size_t, 7> dualIdx;
     for (size_t i = 0; i < 7; ++i) {
         auto t = strides[i] == 1 ? t1trace : makeStrideTrace(strides[i]);
         bankedIdx[i] = js.addOooTrace(t, makeBankedOooConfig(8, 50));
+        // The same 8-bank memory behind two load/store units: the
+        // kernel's two load streams overlap their address phases.
+        dualIdx[i] = js.addOooTrace(t, makeMultiUnitOooConfig(8, 2));
     }
     js.run(engine);
 
     const SimResult &flat = js[flatIdx];
     TextTable table({"Stride", "flat cyc", "b8 cyc", "slowdown",
-                     "conflicts", "confCycles", "distinct banks"});
+                     "conflicts", "confCycles", "distinct banks",
+                     "b8x2 cyc", "x2 gain"});
     for (size_t i = 0; i < 7; ++i) {
         unsigned s = strides[i];
         const SimResult &banked = js[bankedIdx[i]];
+        const SimResult &dual = js[dualIdx[i]];
         unsigned distinct = 8 / std::gcd(8u, s);
         table.addRow(
             {std::to_string(s), TextTable::fmt(flat.cycles),
@@ -838,14 +844,198 @@ figMemStride(const SweepEngine &engine)
                             2),
              TextTable::fmt(banked.memBankConflicts),
              TextTable::fmt(banked.memConflictCycles),
-             TextTable::fmt(uint64_t(distinct))});
+             TextTable::fmt(uint64_t(distinct)),
+             TextTable::fmt(dual.cycles),
+             TextTable::fmt(speedup(banked, dual), 2)});
     }
 
     FigureResult out;
     out.sections.push_back({"", std::move(table)});
     out.footnote = "(8 banks, 1 port, 4-cycle bank busy; stride 8 "
                    "hits one bank and serializes at the bank busy "
-                   "time, co-prime strides 3/7 match stride 1)";
+                   "time, co-prime strides 3/7 match stride 1; the "
+                   "x2 columns re-run the sweep with two shared "
+                   "memory units)";
+    return out;
+}
+
+// --------------------------------------------------------- memunits
+// Multi-unit scaling study: hand-built dual-stream microprograms
+// (the DSL's streaming loads cannot pin two streams to disjoint
+// bank sets, so these traces control base alignment exactly) run
+// against 1/2/4 memory units over 8 and 16 banks. "dual-load" is
+// two independent strided loads on disjoint bank sets; "ld+st" is a
+// load stream plus a store of the loaded value, the case a Split
+// policy is built for.
+
+FigureResult
+figMemUnits(const SweepEngine &engine)
+{
+    const double scale = engine.traces().scale();
+    const uint64_t iters = std::max<uint64_t>(
+        1, static_cast<uint64_t>(96.0 * scale + 1.0));
+
+    // Two loads per iteration, stride 16 bytes: stream A covers the
+    // even banks of an 8-bank memory, stream B (base offset by one
+    // word) the odd banks, so only unit count limits their overlap.
+    auto makeDualLoad = [&] {
+        Trace t("dual-load");
+        Addr a = 0x100000, b = 0x200008;
+        for (uint64_t k = 0; k < iters; ++k) {
+            t.push(makeVLoad(vReg(0), aReg(0), a, 16, 64));
+            t.push(makeVLoad(vReg(1), aReg(1), b, 16, 64));
+            t.push(makeVArith(Opcode::VAdd, vReg(2), vReg(0),
+                              vReg(1), 64));
+            a += 64 * 16;
+            b += 64 * 16;
+        }
+        return std::make_shared<const Trace>(std::move(t));
+    };
+
+    // A load stream feeding a store stream: with a Split policy the
+    // two directions run on dedicated units.
+    auto makeLoadStore = [&] {
+        Trace t("ld+st");
+        Addr a = 0x100000, c = 0x400000;
+        for (uint64_t k = 0; k < iters; ++k) {
+            t.push(makeVLoad(vReg(0), aReg(0), a, 8, 64));
+            t.push(makeVStore(vReg(0), aReg(1), c, 8, 64));
+            a += 64 * 8;
+            c += 64 * 8;
+        }
+        return std::make_shared<const Trace>(std::move(t));
+    };
+
+    const unsigned bankCounts[] = {8, 16};
+    struct Row
+    {
+        const char *program;
+        unsigned banks;
+        size_t x1, x2, x2s, x4;
+    };
+    JobSet js;
+    std::vector<Row> rows;
+    auto addProgram = [&](const char *name, auto make) {
+        auto trace = make();
+        for (unsigned banks : bankCounts) {
+            Row r;
+            r.program = name;
+            r.banks = banks;
+            r.x1 = js.addOooTrace(trace,
+                                  makeMultiUnitOooConfig(banks, 1));
+            r.x2 = js.addOooTrace(trace,
+                                  makeMultiUnitOooConfig(banks, 2));
+            r.x2s = js.addOooTrace(
+                trace,
+                makeMultiUnitOooConfig(banks, 2, LsPolicy::Split));
+            r.x4 = js.addOooTrace(trace,
+                                  makeMultiUnitOooConfig(banks, 4));
+            rows.push_back(r);
+        }
+    };
+    addProgram("dual-load", makeDualLoad);
+    addProgram("ld+st", makeLoadStore);
+    js.run(engine);
+
+    TextTable table({"Program", "banks", "x1 cyc", "x2", "x2 split",
+                     "x4", "confl@x2"});
+    for (const Row &r : rows) {
+        const SimResult &base = js[r.x1];
+        table.addRow({r.program, std::to_string(r.banks),
+                      TextTable::fmt(base.cycles),
+                      TextTable::fmt(speedup(base, js[r.x2]), 2),
+                      TextTable::fmt(speedup(base, js[r.x2s]), 2),
+                      TextTable::fmt(speedup(base, js[r.x4]), 2),
+                      TextTable::fmt(js[r.x2].memBankConflicts)});
+    }
+
+    FigureResult out;
+    out.sections.push_back({"", std::move(table)});
+    out.footnote = "(speedup over the same memory with one unit; "
+                   "dual-load's disjoint-bank streams overlap fully "
+                   "at two shared units but not under a split "
+                   "policy, which pays off only for ld+st)";
+    return out;
+}
+
+// -------------------------------------------------------- memgather
+// Gather index-pattern study: the same gather loop with its index
+// vector declared as a bank-friendly permutation, as congruent
+// mod 8 (every element on one of 8 banks), and as uniform random,
+// against an 8-bank memory. The REF machine isolates the pattern:
+// in-order issue leaves the banks idle while the index vector
+// loads, so gather conflicts come from the index pattern alone.
+
+FigureResult
+figMemGather(const SweepEngine &engine)
+{
+    const double scale = engine.traces().scale();
+
+    struct Pattern
+    {
+        const char *name;
+        IndexPattern pat;
+        uint32_t param;
+    };
+    const std::vector<Pattern> patterns = {
+        {"permutation", IndexPattern::Permutation, 0},
+        {"congruent-mod-8", IndexPattern::CongruentMod, 8},
+        {"random", IndexPattern::Random, 0},
+    };
+
+    auto makeGatherTrace = [&](const Pattern &p) {
+        Program prog(std::string("gather-") + p.name);
+        int idx = prog.array(64 * 8);
+        int tbl = prog.array(512 * 1024);
+        Kernel *k = prog.newKernel("gather");
+        // A short fixed index load: long enough to model fetching
+        // the indices, short enough that its banks are long free
+        // when the gather (which must wait for the full index
+        // vector) issues.
+        VVid iv = k->vloadFixed(idx, 0, 8);
+        (void)k->vgather(tbl, iv, p.pat, p.param);
+        prog.addLoop(k, 48, vlConstant(64));
+        GenOptions opts;
+        opts.scale = scale;
+        return std::make_shared<const Trace>(prog.generate(opts));
+    };
+
+    struct Row
+    {
+        size_t refFlat, refB8, oooB8;
+    };
+    JobSet js;
+    std::vector<Row> idx(patterns.size());
+    for (size_t i = 0; i < patterns.size(); ++i) {
+        auto t = makeGatherTrace(patterns[i]);
+        idx[i].refFlat = js.addRefTrace(t, makeRefConfig(50));
+        idx[i].refB8 = js.addRefTrace(t, makeBankedRefConfig(8, 50));
+        idx[i].oooB8 = js.addOooTrace(t, makeBankedOooConfig(8, 50));
+    }
+    js.run(engine);
+
+    TextTable table({"Pattern", "REF flat", "REF b8", "dilation",
+                     "idxConfl", "idxConfCyc", "OOO b8"});
+    for (size_t i = 0; i < patterns.size(); ++i) {
+        const SimResult &flat = js[idx[i].refFlat];
+        const SimResult &b8 = js[idx[i].refB8];
+        table.addRow(
+            {patterns[i].name, TextTable::fmt(flat.cycles),
+             TextTable::fmt(b8.cycles),
+             TextTable::fmt(static_cast<double>(b8.cycles) /
+                                static_cast<double>(flat.cycles),
+                            2),
+             TextTable::fmt(b8.memIndexedConflicts),
+             TextTable::fmt(b8.memIndexedConflictCycles),
+             TextTable::fmt(js[idx[i].oooB8].cycles)});
+    }
+
+    FigureResult out;
+    out.sections.push_back({"", std::move(table)});
+    out.footnote = "(8 banks, 4-cycle busy; a bank-friendly "
+                   "permutation gathers conflict-free like stride 1, "
+                   "congruent-mod-8 indices serialize on one bank "
+                   "and dilate ~4x, random indices sit in between)";
     return out;
 }
 
@@ -1012,6 +1202,12 @@ figureRegistry()
          "Memory: OOOVA speedup vs bank count", figMemBanks},
         {"memstride", "mem_stride",
          "Memory: stride vs bank conflicts (8 banks)", figMemStride},
+        {"memunits", "mem_units",
+         "Memory: load/store unit scaling (units x banks)",
+         figMemUnits},
+        {"memgather", "mem_gather",
+         "Memory: gather/scatter index patterns (8 banks)",
+         figMemGather},
         {"memlat", "mem_latbanks",
          "Memory: latency tolerance x bank count", figMemLatBanks},
         {"simspeed", "simspeed_sweep", "Sweep-engine throughput",

@@ -38,6 +38,16 @@ oooTraceJob(std::shared_ptr<const Trace> trace, OooConfig cfg)
 }
 
 SweepJob
+refTraceJob(std::shared_ptr<const Trace> trace, RefConfig cfg)
+{
+    SweepJob job;
+    job.trace = trace->name();
+    job.run = [cfg](const Trace &t) { return simulateRef(t, cfg); };
+    job.inlineTrace = std::move(trace);
+    return job;
+}
+
+SweepJob
 idealJob(std::string trace)
 {
     return {std::move(trace), [](const Trace &t) {

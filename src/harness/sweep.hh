@@ -53,6 +53,10 @@ SweepJob oooJob(std::string trace, OooConfig cfg);
 SweepJob oooTraceJob(std::shared_ptr<const Trace> trace,
                      OooConfig cfg);
 
+/** Job running the reference simulator on a synthetic trace. */
+SweepJob refTraceJob(std::shared_ptr<const Trace> trace,
+                     RefConfig cfg);
+
 /**
  * Job computing the IDEAL bound; the result carries only .cycles
  * (and the machine label "IDEAL").
@@ -118,6 +122,11 @@ class JobSet
                        OooConfig cfg)
     {
         return add(oooTraceJob(std::move(trace), cfg));
+    }
+    size_t addRefTrace(std::shared_ptr<const Trace> trace,
+                       RefConfig cfg)
+    {
+        return add(refTraceJob(std::move(trace), cfg));
     }
     size_t addIdeal(std::string trace)
     {

@@ -1,11 +1,93 @@
 #include "isa/instruction.hh"
 
+#include <numeric>
 #include <sstream>
 
 #include "common/logging.hh"
 
 namespace oova
 {
+
+namespace
+{
+
+/** splitmix64: scrambles the per-instance seed into placements. */
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+std::vector<Addr>
+indexedElemAddrs(const DynInst &di)
+{
+    sim_assert(di.isIndexedMem(),
+               "indexedElemAddrs() on non-indexed op %s", opName(di.op));
+    unsigned esz = std::max<unsigned>(di.elemSize, 1);
+    uint64_t words = std::max<uint64_t>(di.regionBytes / esz, 1);
+    unsigned vl = di.vl;
+
+    std::vector<Addr> out;
+    // A zero-length gather/scatter reserves nothing, matching the
+    // strided path's zero-element no-op.
+    if (vl == 0)
+        return out;
+    out.reserve(vl);
+    switch (di.idxPattern) {
+    case IndexPattern::None:
+        // Pre-pattern behavior: a contiguous word walk of the region.
+        for (unsigned i = 0; i < vl; ++i)
+            out.push_back(di.addr + static_cast<Addr>(i) * esz);
+        break;
+    case IndexPattern::Permutation: {
+        // Window placed on an 8-word boundary so repeated gathers
+        // continue the same arithmetic bank walk; step odd (co-prime
+        // with any power-of-two bank count) and co-prime with vl
+        // (so it really is a permutation of the window).
+        uint64_t step = di.idxParam ? (di.idxParam | 1) : 5;
+        while (std::gcd<uint64_t>(step, vl) != 1)
+            step += 2;
+        uint64_t window = 0;
+        if (words > vl)
+            window = (mix64(di.idxSeed) % ((words - vl) / 8 + 1)) * 8;
+        for (unsigned i = 0; i < vl; ++i) {
+            uint64_t w = window + (static_cast<uint64_t>(i) * step) % vl;
+            out.push_back(di.addr + (w % words) * esz);
+        }
+        break;
+    }
+    case IndexPattern::CongruentMod: {
+        uint64_t m = std::max<uint64_t>(di.idxParam, 1);
+        // Wrap within the largest multiple of m that fits the
+        // region, so wrapped indices keep the residue class.
+        uint64_t span = words - words % m;
+        if (span < m)
+            span = words;
+        uint64_t c = mix64(di.idxSeed) % m;
+        for (unsigned i = 0; i < vl; ++i) {
+            uint64_t w = (c + static_cast<uint64_t>(i) * m) % span;
+            out.push_back(di.addr + w * esz);
+        }
+        break;
+    }
+    case IndexPattern::Random: {
+        uint64_t x = di.idxSeed | 1;
+        for (unsigned i = 0; i < vl; ++i) {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            out.push_back(di.addr + (x % words) * esz);
+        }
+        break;
+    }
+    }
+    return out;
+}
 
 std::pair<Addr, Addr>
 DynInst::memRange() const

@@ -15,6 +15,7 @@
 #include <array>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "common/types.hh"
 #include "isa/opcodes.hh"
@@ -51,6 +52,11 @@ struct DynInst
     Addr addr = 0;
     uint32_t regionBytes = 0; ///< gather/scatter only
     uint8_t elemSize = kElemBytes;
+
+    // Gather/scatter index-vector shape (see indexedElemAddrs()).
+    IndexPattern idxPattern = IndexPattern::None;
+    uint32_t idxParam = 0; ///< pattern parameter (e.g. the modulus)
+    uint64_t idxSeed = 0;  ///< per-instance seed (window placement)
 
     bool taken = false; ///< branch outcome from the trace
     Addr target = 0;    ///< branch target
@@ -102,6 +108,25 @@ struct DynInst
     /** Disassembly for debugging and trace dumps. */
     std::string toString() const;
 };
+
+/**
+ * Reconstruct the per-element addresses of a gather/scatter from its
+ * recorded index pattern. Pure and deterministic — the same
+ * instruction always yields the same addresses — so simulation
+ * results stay reproducible. Patterns:
+ *
+ *  - None: contiguous word walk of [addr, addr+regionBytes), the
+ *    pre-pattern conservative assumption;
+ *  - Permutation: every word of a vl-element window (placed by
+ *    idxSeed on an 8-word boundary) exactly once, stepped by an odd
+ *    stride co-prime with vl, so the bank sequence is an arithmetic
+ *    walk that never revisits a bank within 8 elements;
+ *  - CongruentMod: indices c, c+m, c+2m, ... (m = idxParam), all
+ *    congruent mod m — the pathological case that serializes on a
+ *    bank subset;
+ *  - Random: xorshift-uniform words of the region.
+ */
+std::vector<Addr> indexedElemAddrs(const DynInst &di);
 
 /** Build a vector arithmetic instruction. */
 DynInst makeVArith(Opcode op, RegId dst, RegId src_a, RegId src_b,

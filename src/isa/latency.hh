@@ -36,15 +36,15 @@ struct LatencyTable
     opLatency(Opcode op) const
     {
         switch (traits(op).lat) {
-          case LatClass::Move:
+        case LatClass::Move:
             return moveLat;
-          case LatClass::AddLogic:
+        case LatClass::AddLogic:
             return addLogic;
-          case LatClass::Mul:
+        case LatClass::Mul:
             return mul;
-          case LatClass::DivSqrt:
+        case LatClass::DivSqrt:
             return divSqrt;
-          case LatClass::Mem:
+        case LatClass::Mem:
             return memLatency;
         }
         return 1;

@@ -48,15 +48,15 @@ constexpr unsigned
 numLogicalRegs(RegClass cls)
 {
     switch (cls) {
-      case RegClass::A:
+    case RegClass::A:
         return kNumLogicalARegs;
-      case RegClass::S:
+    case RegClass::S:
         return kNumLogicalSRegs;
-      case RegClass::V:
+    case RegClass::V:
         return kNumLogicalVRegs;
-      case RegClass::M:
+    case RegClass::M:
         return kNumLogicalMRegs;
-      default:
+    default:
         return 0;
     }
 }
@@ -66,15 +66,15 @@ constexpr char
 regClassPrefix(RegClass cls)
 {
     switch (cls) {
-      case RegClass::A:
+    case RegClass::A:
         return 'a';
-      case RegClass::S:
+    case RegClass::S:
         return 's';
-      case RegClass::V:
+    case RegClass::V:
         return 'v';
-      case RegClass::M:
+    case RegClass::M:
         return 'm';
-      default:
+    default:
         return '?';
     }
 }

@@ -16,6 +16,66 @@ namespace
 constexpr unsigned kWordBytes = 8;
 
 /**
+ * Per-unit stream assignment shared by the concrete models: tracks
+ * when each memory unit's address phase frees up and picks the
+ * earliest-free unit among those eligible for a stream's direction
+ * (all units under Shared; a dedicated subset under Split).
+ */
+class UnitPool
+{
+  public:
+    explicit UnitPool(const MemConfig &cfg)
+        : freeAt_(std::max(cfg.memUnits, 1u), 0),
+          loadRange_(memUnitRange(cfg, MemOp::Load)),
+          storeRange_(memUnitRange(cfg, MemOp::Store))
+    {
+    }
+
+    /** [lo, hi) of unit indices eligible for @p op. */
+    std::pair<unsigned, unsigned>
+    range(MemOp op) const
+    {
+        return op == MemOp::Load ? loadRange_ : storeRange_;
+    }
+
+    /** Earliest-free eligible unit (lowest index wins ties). */
+    unsigned
+    pick(MemOp op) const
+    {
+        auto [lo, hi] = range(op);
+        unsigned best = lo;
+        for (unsigned u = lo + 1; u < hi; ++u)
+            if (freeAt_[u] < freeAt_[best])
+                best = u;
+        return best;
+    }
+
+    Cycle
+    freeAt(MemOp op) const
+    {
+        return freeAt_[pick(op)];
+    }
+
+    Cycle
+    freeAt() const
+    {
+        return *std::min_element(freeAt_.begin(), freeAt_.end());
+    }
+
+    Cycle &operator[](unsigned u) { return freeAt_[u]; }
+
+    unsigned count() const
+    {
+        return static_cast<unsigned>(freeAt_.size());
+    }
+
+  private:
+    std::vector<Cycle> freeAt_;
+    std::pair<unsigned, unsigned> loadRange_;
+    std::pair<unsigned, unsigned> storeRange_;
+};
+
+/**
  * Coalesces consecutive per-element busy cycles into runs before
  * recording them, so a stream adds O(conflict sites) intervals
  * instead of O(elements). Shared by the banked and cached models;
@@ -55,19 +115,28 @@ class BusyRunMerger
 };
 
 /**
- * The paper's model: an exclusive serializing address bus driving
- * one address per cycle, plus a fixed latency to data. Grant timing
- * delegates to the seed AddressBus, so equivalence with it holds by
+ * The paper's model: exclusive serializing address buses driving one
+ * address per cycle, plus a fixed latency to data. Addresses never
+ * matter (there are no banks), so indexed streams time exactly like
+ * strided ones. With the default single unit, grant timing delegates
+ * to the seed AddressBus, so equivalence with it holds by
  * construction: a stream of n elements granted at cycle s occupies
- * [s, s+n) and element i's data arrives at s + i + latency.
+ * [s, s+n) and element i's data arrives at s + i + latency. With
+ * multiple units, each unit is one such bus and a stream takes the
+ * earliest-free eligible bus.
  */
 class FlatBus : public MemorySystem
 {
   public:
-    explicit FlatBus(unsigned latency) : latency_(latency) {}
+    FlatBus(const MemConfig &cfg, unsigned latency)
+        : latency_(latency), units_(cfg),
+          buses_(units_.count())
+    {
+    }
 
     MemAccess
-    reserve(Cycle earliest, Addr, int64_t, unsigned elems) override
+    reserve(Cycle earliest, Addr, int64_t, unsigned elems,
+            MemOp op) override
     {
         MemAccess acc;
         if (elems == 0) {
@@ -75,30 +144,56 @@ class FlatBus : public MemorySystem
             acc.firstData = acc.lastData = earliest + latency_;
             return acc;
         }
-        acc.start = bus_.reserve(earliest, elems);
+        unsigned u = units_.pick(op);
+        acc.start = buses_[u].reserve(earliest, elems);
         acc.end = acc.start + elems;
         acc.firstData = acc.start + latency_;
         acc.lastData = acc.end + latency_;
-        stats_.requests = bus_.requests();
+        units_[u] = buses_[u].freeAt();
+        stats_.requests = 0;
+        for (const AddressBus &b : buses_)
+            stats_.requests += b.requests();
+        if (buses_.size() > 1)
+            busy_.add(acc.start, acc.end);
         return acc;
     }
 
-    Cycle freeAt() const override { return bus_.freeAt(); }
+    MemAccess
+    reserve(Cycle earliest, const std::vector<Addr> &elem_addrs,
+            MemOp op) override
+    {
+        // No banks: only the element count matters.
+        return reserve(earliest, 0, 0,
+                       static_cast<unsigned>(elem_addrs.size()), op);
+    }
 
-    /** The bus already records its occupancy; don't store it twice. */
-    const IntervalRecorder &busy() const override { return bus_.busy(); }
+    Cycle freeAt() const override { return units_.freeAt(); }
+
+    Cycle freeAt(MemOp op) const override { return units_.freeAt(op); }
+
+    /**
+     * A single bus already records its occupancy; don't store it
+     * twice. Multiple buses merge into the base-class recorder.
+     */
+    const IntervalRecorder &
+    busy() const override
+    {
+        return buses_.size() == 1 ? buses_[0].busy() : busy_;
+    }
 
   private:
     unsigned latency_;
-    AddressBus bus_;
+    UnitPool units_;
+    std::vector<AddressBus> buses_;
 };
 
 /**
- * Interleaved banks behind a small set of address ports. Addresses
+ * Interleaved banks behind per-unit sets of address ports. Addresses
  * of one stream are generated in order; each element takes the first
- * cycle with both a free port slot and a free bank, and then holds
- * its bank for bankBusyCycles. Streams themselves are serialized by
- * the single memory unit, as on the flat bus.
+ * cycle with both a free port slot on its unit and a free bank, and
+ * then holds its bank for bankBusyCycles. Streams on the same unit
+ * serialize as on the flat bus; streams on different units overlap,
+ * colliding only where they share banks.
  */
 class BankedMemory : public MemorySystem
 {
@@ -107,13 +202,45 @@ class BankedMemory : public MemorySystem
         : latency_(latency), banks_(cfg.banks),
           ports_(cfg.addressPorts), bankBusy_(cfg.bankBusyCycles),
           interleave_(std::max(cfg.interleaveBytes, 1u)),
-          bankFreeAt_(cfg.banks, 0)
+          bankFreeAt_(cfg.banks, 0), units_(cfg),
+          unitPorts_(units_.count())
     {
     }
 
     MemAccess
     reserve(Cycle earliest, Addr addr, int64_t stride,
-            unsigned elems) override
+            unsigned elems, MemOp op) override
+    {
+        return stream(earliest, op, false, elems, [&](unsigned i) {
+            return addr + static_cast<int64_t>(i) * stride;
+        });
+    }
+
+    MemAccess
+    reserve(Cycle earliest, const std::vector<Addr> &elem_addrs,
+            MemOp op) override
+    {
+        return stream(earliest, op, true,
+                      static_cast<unsigned>(elem_addrs.size()),
+                      [&](unsigned i) { return elem_addrs[i]; });
+    }
+
+    Cycle freeAt() const override { return units_.freeAt(); }
+
+    Cycle freeAt(MemOp op) const override { return units_.freeAt(op); }
+
+  private:
+    /** Address-port occupancy of one unit. */
+    struct PortState
+    {
+        Cycle cycle = 0;
+        unsigned used = 0;
+    };
+
+    template <typename AddrOf>
+    MemAccess
+    stream(Cycle earliest, MemOp op, bool indexed, unsigned elems,
+           AddrOf addr_of)
     {
         MemAccess acc;
         if (elems == 0) {
@@ -121,21 +248,27 @@ class BankedMemory : public MemorySystem
             acc.firstData = acc.lastData = earliest + latency_;
             return acc;
         }
-        Cycle cur = std::max(earliest, unitFreeAt_);
+        unsigned u = units_.pick(op);
+        PortState &ports = unitPorts_[u];
+        Cycle cur = std::max(earliest, units_[u]);
         Cycle last = cur;
         BusyRunMerger busy(busy_);
         for (unsigned i = 0; i < elems; ++i) {
-            Addr a = addr + static_cast<int64_t>(i) * stride;
+            Addr a = addr_of(i);
             unsigned bank =
                 static_cast<unsigned>((a / interleave_) % banks_);
-            Cycle t = portSlot(cur);
+            Cycle t = portSlot(ports, cur);
             if (bankFreeAt_[bank] > t) {
-                Cycle delayed = portSlot(bankFreeAt_[bank]);
+                Cycle delayed = portSlot(ports, bankFreeAt_[bank]);
                 ++stats_.bankConflicts;
                 stats_.conflictCycles += delayed - t;
+                if (indexed) {
+                    ++stats_.indexedConflicts;
+                    stats_.indexedConflictCycles += delayed - t;
+                }
                 t = delayed;
             }
-            takePort(t);
+            takePort(ports, t);
             bankFreeAt_[bank] = t + bankBusy_;
             busy.add(t);
             if (i == 0)
@@ -147,32 +280,29 @@ class BankedMemory : public MemorySystem
         acc.end = last + 1;
         acc.firstData = acc.start + latency_;
         acc.lastData = last + 1 + latency_;
-        unitFreeAt_ = acc.end;
+        units_[u] = acc.end;
         return acc;
     }
 
-    Cycle freeAt() const override { return unitFreeAt_; }
-
-  private:
     /** First cycle >= @p c with a free address-port slot. */
     Cycle
-    portSlot(Cycle c) const
+    portSlot(const PortState &ports, Cycle c) const
     {
-        if (c < portCycle_)
-            c = portCycle_;
-        if (c == portCycle_ && portsUsed_ >= ports_)
-            return portCycle_ + 1;
+        if (c < ports.cycle)
+            c = ports.cycle;
+        if (c == ports.cycle && ports.used >= ports_)
+            return ports.cycle + 1;
         return c;
     }
 
     void
-    takePort(Cycle t)
+    takePort(PortState &ports, Cycle t)
     {
-        if (t > portCycle_) {
-            portCycle_ = t;
-            portsUsed_ = 1;
+        if (t > ports.cycle) {
+            ports.cycle = t;
+            ports.used = 1;
         } else {
-            ++portsUsed_;
+            ++ports.used;
         }
     }
 
@@ -182,20 +312,22 @@ class BankedMemory : public MemorySystem
     unsigned bankBusy_;
     unsigned interleave_;
     std::vector<Cycle> bankFreeAt_;
-    Cycle unitFreeAt_ = 0;
-    Cycle portCycle_ = 0;
-    unsigned portsUsed_ = 0;
+    UnitPool units_;
+    std::vector<PortState> unitPorts_;
 };
 
 /**
  * A non-blocking set-associative cache in front of a backing model.
- * The front drives one element address per cycle. Hits return data
- * after cacheHitLatency (or when their line's outstanding fill
- * lands). A miss claims an MSHR — stalling the address stream when
- * none is free — and fetches the whole line from the backing model;
- * later accesses to that line merge with the in-flight fill. Loads
- * and stores are treated uniformly (allocate-on-miss), which keeps
- * the model simple and symmetric with the other two.
+ * Each unit's front drives one element address per cycle. Hits
+ * return data after cacheHitLatency (or when their line's
+ * outstanding fill lands). A miss claims an MSHR — stalling the
+ * address stream when none is free — and fetches the whole line from
+ * the backing model; later accesses to that line merge with the
+ * in-flight fill. Loads and stores are treated uniformly
+ * (allocate-on-miss), which keeps the model simple and symmetric
+ * with the other two. Indexed streams probe the cache with their
+ * real element addresses, so gather locality (or the lack of it) is
+ * what decides their hit rate.
  */
 class CachedMemory : public MemorySystem
 {
@@ -204,7 +336,8 @@ class CachedMemory : public MemorySystem
         : hitLat_(cfg.cacheHitLatency),
           lineBytes_(std::max(cfg.lineBytes, kWordBytes)),
           assoc_(std::max(cfg.associativity, 1u)),
-          lineElems_(std::max(cfg.lineBytes / kWordBytes, 1u))
+          lineElems_(std::max(cfg.lineBytes / kWordBytes, 1u)),
+          units_(cfg)
     {
         sets_ = std::max(cfg.cacheBytes / (lineBytes_ * assoc_), 1u);
         ways_.assign(static_cast<size_t>(sets_) * assoc_, Way{});
@@ -213,12 +346,47 @@ class CachedMemory : public MemorySystem
         back.model = cfg.backing == MemModel::Banked
                          ? MemModel::Banked
                          : MemModel::FlatBus;
+        // The backing bus serves line fills from every front unit.
+        back.memUnits = 1;
+        back.lsPolicy = LsPolicy::Shared;
         backing_ = makeMemorySystem(back, latency);
     }
 
     MemAccess
     reserve(Cycle earliest, Addr addr, int64_t stride,
-            unsigned elems) override
+            unsigned elems, MemOp op) override
+    {
+        return stream(earliest, op, false, elems, [&](unsigned i) {
+            return addr + static_cast<int64_t>(i) * stride;
+        });
+    }
+
+    MemAccess
+    reserve(Cycle earliest, const std::vector<Addr> &elem_addrs,
+            MemOp op) override
+    {
+        return stream(earliest, op, true,
+                      static_cast<unsigned>(elem_addrs.size()),
+                      [&](unsigned i) { return elem_addrs[i]; });
+    }
+
+    Cycle freeAt() const override { return units_.freeAt(); }
+
+    Cycle freeAt(MemOp op) const override { return units_.freeAt(op); }
+
+  private:
+    struct Way
+    {
+        Addr line = 0;
+        bool valid = false;
+        Cycle lastUse = 0;
+        Cycle fillDone = 0;
+    };
+
+    template <typename AddrOf>
+    MemAccess
+    stream(Cycle earliest, MemOp op, bool indexed, unsigned elems,
+           AddrOf addr_of)
     {
         MemAccess acc;
         if (elems == 0) {
@@ -226,12 +394,18 @@ class CachedMemory : public MemorySystem
             acc.firstData = acc.lastData = earliest + hitLat_;
             return acc;
         }
-        Cycle cur = std::max(earliest, unitFreeAt_);
+        // Backing conflicts accrued by this stream's line fills are
+        // attributed to the requesting stream's kind: a fill is a
+        // strided line read, but an indexed stream caused it.
+        uint64_t preConfl = backing_->stats().bankConflicts;
+        uint64_t preConflCycles = backing_->stats().conflictCycles;
+        unsigned u = units_.pick(op);
+        Cycle cur = std::max(earliest, units_[u]);
         Cycle last = cur;
         Cycle maxDataAt = 0;
         BusyRunMerger busy(busy_);
         for (unsigned i = 0; i < elems; ++i) {
-            Addr a = addr + static_cast<int64_t>(i) * stride;
+            Addr a = addr_of(i);
             Addr line = a / lineBytes_;
             Cycle t = cur;
             Cycle dataAt;
@@ -248,7 +422,8 @@ class CachedMemory : public MemorySystem
                     t = *m;
                 }
                 MemAccess fill = backing_->reserve(
-                    t, line * lineBytes_, kWordBytes, lineElems_);
+                    t, line * lineBytes_, kWordBytes, lineElems_,
+                    MemOp::Load);
                 // fill.lastData is one past the last element's
                 // arrival; the line is usable on the arrival cycle
                 // itself (dataAt is a closed arrival time, like the
@@ -277,22 +452,17 @@ class CachedMemory : public MemorySystem
         stats_.requests = backing_->stats().requests;
         stats_.bankConflicts = backing_->stats().bankConflicts;
         stats_.conflictCycles = backing_->stats().conflictCycles;
+        if (indexed) {
+            stats_.indexedConflicts +=
+                backing_->stats().bankConflicts - preConfl;
+            stats_.indexedConflictCycles +=
+                backing_->stats().conflictCycles - preConflCycles;
+        }
         acc.end = last + 1;
         acc.lastData = maxDataAt + 1;
-        unitFreeAt_ = acc.end;
+        units_[u] = acc.end;
         return acc;
     }
-
-    Cycle freeAt() const override { return unitFreeAt_; }
-
-  private:
-    struct Way
-    {
-        Addr line = 0;
-        bool valid = false;
-        Cycle lastUse = 0;
-        Cycle fillDone = 0;
-    };
 
     Way *
     lookup(Addr line)
@@ -327,26 +497,44 @@ class CachedMemory : public MemorySystem
     std::vector<Way> ways_;
     std::vector<Cycle> mshrFreeAt_;
     std::unique_ptr<MemorySystem> backing_;
-    Cycle unitFreeAt_ = 0;
+    UnitPool units_;
 };
 
 } // namespace
 
+std::pair<unsigned, unsigned>
+memUnitRange(const MemConfig &cfg, MemOp op)
+{
+    unsigned n = std::max(cfg.memUnits, 1u);
+    if (cfg.lsPolicy != LsPolicy::Split || n < 2)
+        return {0, n};
+    unsigned load_units = (n + 1) / 2;
+    return op == MemOp::Load
+               ? std::pair<unsigned, unsigned>{0, load_units}
+               : std::pair<unsigned, unsigned>{load_units, n};
+}
+
 std::string
 MemConfig::label() const
 {
+    std::string units;
+    if (memUnits > 1) {
+        units = csprintf("x%u", memUnits);
+        if (lsPolicy == LsPolicy::Split)
+            units += "s";
+    }
     switch (model) {
-      case MemModel::FlatBus:
-        return "";
-      case MemModel::Banked:
-        return csprintf("/mb%up%u", banks, addressPorts);
-      case MemModel::Cached: {
+    case MemModel::FlatBus:
+        return units.empty() ? "" : "/" + units;
+    case MemModel::Banked:
+        return csprintf("/mb%up%u", banks, addressPorts) + units;
+    case MemModel::Cached: {
         std::string l = csprintf("/c%uk%uw%um", cacheBytes / 1024,
                                  associativity, mshrs);
         if (backing == MemModel::Banked)
             l += csprintf("b%u", banks);
-        return l;
-      }
+        return l + units;
+    }
     }
     return "";
 }
@@ -364,6 +552,17 @@ makeBankedMem(unsigned banks, unsigned address_ports,
 }
 
 MemConfig
+makeMultiUnitMem(unsigned banks, unsigned units, LsPolicy policy,
+                 unsigned address_ports, unsigned bank_busy_cycles)
+{
+    MemConfig cfg =
+        makeBankedMem(banks, address_ports, bank_busy_cycles);
+    cfg.memUnits = units;
+    cfg.lsPolicy = policy;
+    return cfg;
+}
+
+MemConfig
 makeCachedMem(unsigned cache_bytes, unsigned mshrs, MemModel backing)
 {
     MemConfig cfg;
@@ -377,14 +576,16 @@ makeCachedMem(unsigned cache_bytes, unsigned mshrs, MemModel backing)
 std::unique_ptr<MemorySystem>
 makeMemorySystem(const MemConfig &cfg, unsigned mem_latency)
 {
+    if (cfg.memUnits == 0)
+        fatal("memory system needs >= 1 load/store unit");
     switch (cfg.model) {
-      case MemModel::FlatBus:
-        return std::make_unique<FlatBus>(mem_latency);
-      case MemModel::Banked:
+    case MemModel::FlatBus:
+        return std::make_unique<FlatBus>(cfg, mem_latency);
+    case MemModel::Banked:
         if (cfg.banks == 0 || cfg.addressPorts == 0)
             fatal("banked memory needs >= 1 bank and >= 1 port");
         return std::make_unique<BankedMemory>(cfg, mem_latency);
-      case MemModel::Cached:
+    case MemModel::Cached:
         if (cfg.backing == MemModel::Cached)
             fatal("cache backing must be FlatBus or Banked");
         return std::make_unique<CachedMemory>(cfg, mem_latency);

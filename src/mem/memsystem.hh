@@ -19,11 +19,19 @@
  *
  * The interface is stream-oriented, matching how both simulators
  * talk to memory: a memory instruction reserves a stream of element
- * accesses (base address + stride) and gets back the address-phase
+ * accesses (base address + stride, or an explicit per-element
+ * address vector for gather/scatter) and gets back the address-phase
  * occupancy window plus the data arrival window, from which the
  * simulators derive chaining and completion times. The memory
  * latency lives inside the model (FlatBus adds the fixed latency;
  * CachedMemory shortens it on hits).
+ *
+ * Every model supports N load/store units (MemConfig::memUnits):
+ * streams assigned to different units overlap their address phases,
+ * contending only for shared structures (banks, the cache front and
+ * MSHRs), which is what lets independent streams on disjoint banks
+ * proceed in parallel. A Split policy dedicates units to loads and
+ * stores respectively, as in decoupled vector load/store pipelines.
  */
 
 #ifndef OOVA_MEM_MEMSYSTEM_HH
@@ -31,6 +39,8 @@
 
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/stats.hh"
 #include "common/types.hh"
@@ -46,10 +56,47 @@ enum class MemModel : uint8_t
     Cached,  ///< non-blocking cache front over a backing model
 };
 
+/**
+ * Whether a reserved stream reads or writes memory. Only unit
+ * assignment cares (a Split configuration dedicates units per
+ * direction); timing within a unit is direction-agnostic, as in the
+ * paper's shared address bus.
+ */
+enum class MemOp : uint8_t
+{
+    Load,
+    Store,
+};
+
+/** How streams are assigned when there is more than one memory unit. */
+enum class LsPolicy : uint8_t
+{
+    /** Any unit may serve any stream (earliest-free wins). */
+    Shared,
+    /**
+     * Dedicated load and store units: the first ceil(N/2) units
+     * serve loads, the rest serve stores (Saturn-style split vector
+     * load/store scheduling). Ignored with a single unit.
+     */
+    Split,
+};
+
 /** Memory-hierarchy configuration, embedded in both machine configs. */
 struct MemConfig
 {
     MemModel model = MemModel::FlatBus;
+
+    // ---- memory-unit knobs (all models) ----
+    /**
+     * Number of independent load/store units. Each unit serializes
+     * the address phases of the streams assigned to it; different
+     * units overlap, contending only for shared structures (banks,
+     * cache front, MSHRs). The default single unit reproduces the
+     * paper's one-memory-unit machine exactly.
+     */
+    unsigned memUnits = 1;
+    /** Stream-to-unit assignment when memUnits > 1. */
+    LsPolicy lsPolicy = LsPolicy::Shared;
 
     // ---- BankedMemory knobs ----
     /** Number of interleaved banks (power of two recommended). */
@@ -73,16 +120,34 @@ struct MemConfig
     unsigned cacheHitLatency = 2;
 
     /**
-     * Config suffix appended to machine names, e.g. "/mb8p1" or
-     * "/c32k4w8m". Empty for the default FlatBus so the seed
-     * machine labels (and every paper table) are unchanged.
+     * Config suffix appended to machine names, e.g. "/mb8p1",
+     * "/mb8p1x2" (two shared units), "/mb8p1x2s" (split load/store
+     * units) or "/c32k4w8m". Empty for the default single-unit
+     * FlatBus so the seed machine labels (and every paper table)
+     * are unchanged.
      */
     std::string label() const;
 };
 
+/**
+ * [lo, hi) of the unit indices eligible for @p op under @p cfg: all
+ * units under Shared, the first ceil(N/2) for loads / the rest for
+ * stores under Split. The single definition of the assignment
+ * policy, shared by the models' internal arbitration and the REF
+ * front end's unit-availability modeling.
+ */
+std::pair<unsigned, unsigned> memUnitRange(const MemConfig &cfg,
+                                           MemOp op);
+
 /** Convenience builder for a banked configuration. */
 MemConfig makeBankedMem(unsigned banks, unsigned address_ports = 1,
                         unsigned bank_busy_cycles = 4);
+
+/** Banked configuration with @p units load/store units. */
+MemConfig makeMultiUnitMem(unsigned banks, unsigned units,
+                           LsPolicy policy = LsPolicy::Shared,
+                           unsigned address_ports = 1,
+                           unsigned bank_busy_cycles = 4);
 
 /** Convenience builder for a cached configuration. */
 MemConfig makeCachedMem(unsigned cache_bytes = 32 * 1024,
@@ -116,25 +181,48 @@ struct MemStats
      * while the CPU-side access count is cacheHits + cacheMisses.
      */
     uint64_t requests = 0;
-    /** Element issues that found their bank busy. */
+    /** Element issues that found their bank busy (all streams). */
     uint64_t bankConflicts = 0;
     /** Cycles those elements waited beyond port availability. */
     uint64_t conflictCycles = 0;
+    /**
+     * The subset of bankConflicts/conflictCycles charged to
+     * index-vector (gather/scatter) streams; the strided remainder
+     * is exposed by stridedConflicts()/stridedConflictCycles().
+     */
+    uint64_t indexedConflicts = 0;
+    uint64_t indexedConflictCycles = 0;
     uint64_t cacheHits = 0;
     uint64_t cacheMisses = 0;
     /** Cycles misses waited for a free MSHR. */
     uint64_t mshrStallCycles = 0;
+
+    /** Conflicts charged to strided (non-indexed) streams. */
+    uint64_t
+    stridedConflicts() const
+    {
+        return bankConflicts - indexedConflicts;
+    }
+
+    uint64_t
+    stridedConflictCycles() const
+    {
+        return conflictCycles - indexedConflictCycles;
+    }
 };
 
 /**
  * Abstract memory system. One instance per simulated machine; not
  * thread-safe (each sweep job owns its own machine).
  *
- * Streams are reserved by one memory unit in issue order, so every
- * model serializes address phases across streams: a new stream
- * starts no earlier than freeAt(). Within a stream, the banked model
- * may drive several addresses per cycle (addressPorts) or dilate the
- * phase on bank conflicts.
+ * Streams are reserved in issue order; each is assigned to one of
+ * the configured memory units (MemConfig::memUnits / lsPolicy) and
+ * serializes against the other streams of that unit only, so
+ * independent streams on different units overlap their address
+ * phases, contending only for shared structures (banks, the cache
+ * front). Within a stream, the banked model may drive several
+ * addresses per cycle (addressPorts, a per-unit resource) or dilate
+ * the phase on bank conflicts.
  */
 class MemorySystem
 {
@@ -148,11 +236,28 @@ class MemorySystem
      * an empty window at @p earliest.
      */
     virtual MemAccess reserve(Cycle earliest, Addr addr,
-                              int64_t stride_bytes,
-                              unsigned elems) = 0;
+                              int64_t stride_bytes, unsigned elems,
+                              MemOp op = MemOp::Load) = 0;
 
-    /** First cycle a new stream's address phase could begin. */
+    /**
+     * Index-vector overload: reserve one element access per entry
+     * of @p elem_addrs — a gather/scatter whose real per-element
+     * addresses are known, so bank mapping and conflicts follow the
+     * actual index pattern instead of a contiguous walk. Conflicts
+     * are counted in the indexed counters of MemStats.
+     */
+    virtual MemAccess reserve(Cycle earliest,
+                              const std::vector<Addr> &elem_addrs,
+                              MemOp op = MemOp::Load) = 0;
+
+    /** First cycle any unit could begin a new stream. */
     virtual Cycle freeAt() const = 0;
+
+    /**
+     * First cycle a unit eligible for @p op could begin a new
+     * stream (== freeAt() unless the policy splits load/store).
+     */
+    virtual Cycle freeAt(MemOp op) const = 0;
 
     /** Occupancy and conflict counters. */
     const MemStats &stats() const { return stats_; }

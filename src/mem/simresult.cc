@@ -7,23 +7,23 @@ const char *
 stallCauseName(StallCause cause)
 {
     switch (cause) {
-      case StallCause::None:
+    case StallCause::None:
         return "none";
-      case StallCause::ScalarDep:
+    case StallCause::ScalarDep:
         return "scalar-dep";
-      case StallCause::VectorDep:
+    case StallCause::VectorDep:
         return "vector-dep";
-      case StallCause::WarWaw:
+    case StallCause::WarWaw:
         return "war/waw";
-      case StallCause::FuBusy:
+    case StallCause::FuBusy:
         return "fu-busy";
-      case StallCause::MemUnit:
+    case StallCause::MemUnit:
         return "mem-unit";
-      case StallCause::Ports:
+    case StallCause::Ports:
         return "ports";
-      case StallCause::Branch:
+    case StallCause::Branch:
         return "branch";
-      default:
+    default:
         return "?";
     }
 }

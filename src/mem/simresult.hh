@@ -58,6 +58,9 @@ struct SimResult
     // Memory-hierarchy detail; all zero under the default FlatBus.
     uint64_t memBankConflicts = 0;  ///< element issues that hit a busy bank
     uint64_t memConflictCycles = 0; ///< cycles lost waiting on banks
+    /** Subset of the above charged to gather/scatter index streams. */
+    uint64_t memIndexedConflicts = 0;
+    uint64_t memIndexedConflictCycles = 0;
     uint64_t cacheHits = 0;
     uint64_t cacheMisses = 0;
     uint64_t mshrStallCycles = 0;   ///< cycles misses waited for an MSHR
@@ -83,6 +86,13 @@ struct SimResult
         return 1.0 -
                static_cast<double>(memBusyCycles) /
                    static_cast<double>(cycles);
+    }
+
+    /** Bank conflicts charged to strided (non-indexed) streams. */
+    uint64_t
+    memStridedConflicts() const
+    {
+        return memBankConflicts - memIndexedConflicts;
     }
 
     /** Instructions per cycle over the whole run. */

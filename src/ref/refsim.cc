@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <vector>
 
 #include "common/logging.hh"
 #include "mem/memsystem.hh"
@@ -26,7 +27,8 @@ class RefMachine
   public:
     RefMachine(const Trace &trace, const RefConfig &cfg)
         : trace_(trace), cfg_(cfg), lat_(cfg.lat),
-          mem_(makeMemorySystem(cfg.mem, cfg.lat.memLatency))
+          mem_(makeMemorySystem(cfg.mem, cfg.lat.memLatency)),
+          memUnitFree_(std::max(cfg.mem.memUnits, 1u), 0)
     {
         aReady_.fill(0);
         sReady_.fill(0);
@@ -63,10 +65,28 @@ class RefMachine
         readPortFree_;
     std::array<Cycle, kNumLogicalVRegs / 2> writePortFree_;
 
+    /**
+     * Earliest-free eligible vector memory unit for @p op: the
+     * in-order front end stalls a vector memory instruction until
+     * one of its direction's units is free. Scalar accesses slip
+     * past this (as on the seed machine) and contend only inside
+     * the memory model itself.
+     */
+    unsigned
+    memUnitPick(MemOp op) const
+    {
+        auto [lo, hi] = memUnitRange(cfg_.mem, op);
+        unsigned best = lo;
+        for (unsigned u = lo + 1; u < hi; ++u)
+            if (memUnitFree_[u] < memUnitFree_[best])
+                best = u;
+        return best;
+    }
+
     Cycle fu1Free_ = 0;
     Cycle fu2Free_ = 0;
-    Cycle memUnitFree_ = 0;
     std::unique_ptr<MemorySystem> mem_;
+    std::vector<Cycle> memUnitFree_;
     IntervalRecorder fu1Rec_;
     IntervalRecorder fu2Rec_;
 
@@ -79,13 +99,13 @@ Cycle &
 RefMachine::scalarReady(const RegId &r)
 {
     switch (r.cls) {
-      case RegClass::A:
+    case RegClass::A:
         return aReady_[r.idx];
-      case RegClass::S:
+    case RegClass::S:
         return sReady_[r.idx];
-      case RegClass::M:
+    case RegClass::M:
         return mReady_[r.idx];
-      default:
+    default:
         panic("scalarReady on register class %d",
               static_cast<int>(r.cls));
     }
@@ -272,21 +292,27 @@ RefMachine::run()
                 finish(ready);
             }
         } else if (inst.isVectorMem()) {
-            ip.raise(memUnitFree_, StallCause::MemUnit);
-            // Indexed accesses walk their region word by word (the
-            // element addresses are unknown ahead of time).
-            int64_t stride = inst.isIndexedMem()
-                                 ? static_cast<int64_t>(inst.elemSize)
-                                 : inst.strideBytes;
+            MemOp mop = tr.isStore ? MemOp::Store : MemOp::Load;
+            unsigned mu = memUnitPick(mop);
+            ip.raise(memUnitFree_[mu], StallCause::MemUnit);
+            // Gather/scatter reserve their real per-element
+            // addresses (the whole index vector is available at
+            // issue), so bank conflicts follow the actual pattern.
+            auto reserveStream = [&](Cycle at) {
+                return inst.isIndexedMem()
+                           ? mem_->reserve(at, indexedElemAddrs(inst),
+                                           mop)
+                           : mem_->reserve(at, inst.addr,
+                                           inst.strideBytes, inst.vl,
+                                           mop);
+            };
             if (inst.isLoad()) {
                 if (inst.dst.cls == RegClass::V)
                     ip.raise(writePortConstraint(inst.dst),
                              StallCause::Ports);
                 Cycle t = ip.t;
-                MemAccess a =
-                    mem_->reserve(t + lat_.vectorStartup, inst.addr,
-                                  stride, inst.vl);
-                memUnitFree_ = a.end;
+                MemAccess a = reserveStream(t + lat_.vectorStartup);
+                memUnitFree_[mu] = a.end;
                 VRegState &d = vreg_[inst.dst.idx];
                 d.writeStart = a.firstData + lat_.writeXbarVector;
                 d.writeEnd = a.lastData + lat_.writeXbarVector;
@@ -299,10 +325,8 @@ RefMachine::run()
                 ip.raise(readPortConstraint(data),
                          StallCause::Ports);
                 Cycle t = ip.t;
-                MemAccess a =
-                    mem_->reserve(t + lat_.vectorStartup, inst.addr,
-                                  stride, inst.vl);
-                memUnitFree_ = a.end;
+                MemAccess a = reserveStream(t + lat_.vectorStartup);
+                memUnitFree_[mu] = a.end;
                 Cycle read_done = a.end;
                 vreg_[data.idx].lastReadEnd =
                     std::max(vreg_[data.idx].lastReadEnd, read_done);
@@ -314,13 +338,15 @@ RefMachine::run()
             Cycle t = ip.t;
             if (inst.isLoad()) {
                 MemAccess a = mem_->reserve(t, inst.addr,
-                                            inst.elemSize, 1);
+                                            inst.elemSize, 1,
+                                            MemOp::Load);
                 Cycle ready = a.firstData + lat_.writeXbarScalar;
                 scalarReady(inst.dst) = ready;
                 finish(ready);
             } else {
                 MemAccess a = mem_->reserve(t, inst.addr,
-                                            inst.elemSize, 1);
+                                            inst.elemSize, 1,
+                                            MemOp::Store);
                 finish(a.start + 1);
             }
         } else if (inst.isBranch()) {
@@ -363,6 +389,8 @@ RefMachine::run()
     res.memRequests = mem_->stats().requests;
     res.memBankConflicts = mem_->stats().bankConflicts;
     res.memConflictCycles = mem_->stats().conflictCycles;
+    res.memIndexedConflicts = mem_->stats().indexedConflicts;
+    res.memIndexedConflictCycles = mem_->stats().indexedConflictCycles;
     res.cacheHits = mem_->stats().cacheHits;
     res.cacheMisses = mem_->stats().cacheMisses;
     res.mshrStallCycles = mem_->stats().mshrStallCycles;

@@ -24,21 +24,21 @@ forEachVSrc(const KOp &op, const std::function<void(int)> &fn)
 {
     using K = KOp::Kind;
     switch (op.kind) {
-      case K::VStore:
-      case K::VGather:
-      case K::VReduce:
+    case K::VStore:
+    case K::VGather:
+    case K::VReduce:
         fn(op.srcs[0]);
         break;
-      case K::VScatter:
+    case K::VScatter:
         fn(op.srcs[0]);
         fn(op.srcs[1]);
         break;
-      case K::VArith:
-      case K::VCmpMerge:
+    case K::VArith:
+    case K::VCmpMerge:
         for (int i = 0; i < op.nsrcs; ++i)
             fn(op.srcs[i]);
         break;
-      default:
+    default:
         break;
     }
 }
@@ -48,14 +48,14 @@ forEachSSrc(const KOp &op, const std::function<void(int)> &fn)
 {
     using K = KOp::Kind;
     switch (op.kind) {
-      case K::SArith:
+    case K::SArith:
         for (int i = 0; i < op.nsrcs; ++i)
             fn(op.srcs[i]);
         break;
-      case K::SStoreSlot:
+    case K::SStoreSlot:
         fn(op.srcs[0]);
         break;
-      default:
+    default:
         break;
     }
 }
@@ -403,7 +403,7 @@ CodeGen::emitIteration(const LoopSpec &loop, size_t loop_idx,
         std::fill(sAlloc_.pinned.begin(), sAlloc_.pinned.end(), false);
 
         switch (op.kind) {
-          case K::VLoad: {
+        case K::VLoad: {
             int sid = streamId(loop_idx, i);
             int areg = ensureStream(sid);
             Addr addr = op.fixedAddr
@@ -422,8 +422,8 @@ CodeGen::emitIteration(const LoopSpec &loop, size_t loop_idx,
                 bumpStream(sid, static_cast<int64_t>(vl) *
                                     op.strideElems * kElemBytes);
             break;
-          }
-          case K::VStore: {
+        }
+        case K::VStore: {
             int r = ensureV(op.srcs[0], vl, loop_idx);
             int sid = streamId(loop_idx, i);
             int areg = ensureStream(sid);
@@ -439,8 +439,8 @@ CodeGen::emitIteration(const LoopSpec &loop, size_t loop_idx,
                 bumpStream(sid, static_cast<int64_t>(vl) *
                                     op.strideElems * kElemBytes);
             break;
-          }
-          case K::VGather: {
+        }
+        case K::VGather: {
             int ri = ensureV(op.srcs[0], vl, loop_idx);
             int sid = streamId(loop_idx, i);
             int areg = ensureStream(sid);
@@ -454,6 +454,11 @@ CodeGen::emitIteration(const LoopSpec &loop, size_t loop_idx,
             inst.addr = prog_.arrayBase(op.array);
             inst.regionBytes =
                 static_cast<uint32_t>(prog_.arrayBytes(op.array));
+            inst.idxPattern = op.idxPattern;
+            inst.idxParam = op.idxParam;
+            // Seed from the trace position: deterministic, but each
+            // dynamic instance gets its own index placement.
+            inst.idxSeed = trace_.size() + 1;
             emit(inst);
             consumeV(op.srcs[0]);
             if (vAlloc_.usesLeft[op.dst] == 0) {
@@ -461,8 +466,8 @@ CodeGen::emitIteration(const LoopSpec &loop, size_t loop_idx,
                 vAlloc_.regOf[op.dst] = -1;
             }
             break;
-          }
-          case K::VScatter: {
+        }
+        case K::VScatter: {
             int rd = ensureV(op.srcs[0], vl, loop_idx);
             int ri = ensureV(op.srcs[1], vl, loop_idx);
             int sid = streamId(loop_idx, i);
@@ -476,12 +481,15 @@ CodeGen::emitIteration(const LoopSpec &loop, size_t loop_idx,
             inst.addr = prog_.arrayBase(op.array);
             inst.regionBytes =
                 static_cast<uint32_t>(prog_.arrayBytes(op.array));
+            inst.idxPattern = op.idxPattern;
+            inst.idxParam = op.idxParam;
+            inst.idxSeed = trace_.size() + 1;
             emit(inst);
             consumeV(op.srcs[0]);
             consumeV(op.srcs[1]);
             break;
-          }
-          case K::VArith: {
+        }
+        case K::VArith: {
             int ra = ensureV(op.srcs[0], vl, loop_idx);
             int rb = -1;
             if (op.nsrcs > 1)
@@ -499,8 +507,8 @@ CodeGen::emitIteration(const LoopSpec &loop, size_t loop_idx,
                 vAlloc_.regOf[op.dst] = -1;
             }
             break;
-          }
-          case K::VCmpMerge: {
+        }
+        case K::VCmpMerge: {
             int ra = ensureV(op.srcs[0], vl, loop_idx);
             int rb = ensureV(op.srcs[1], vl, loop_idx);
             DynInst cmp = makeVArith(Opcode::VCmp, mReg(0),
@@ -522,8 +530,8 @@ CodeGen::emitIteration(const LoopSpec &loop, size_t loop_idx,
                 vAlloc_.regOf[op.dst] = -1;
             }
             break;
-          }
-          case K::VReduce: {
+        }
+        case K::VReduce: {
             int rv = ensureV(op.srcs[0], vl, loop_idx);
             int rs = allocS(op.dst, loop_idx);
             DynInst inst = makeVArith(Opcode::VReduce,
@@ -537,8 +545,8 @@ CodeGen::emitIteration(const LoopSpec &loop, size_t loop_idx,
                 sAlloc_.regOf[op.dst] = -1;
             }
             break;
-          }
-          case K::SArith: {
+        }
+        case K::SArith: {
             int ra = -1, rb = -1;
             if (op.nsrcs > 0)
                 ra = ensureS(op.srcs[0], loop_idx);
@@ -557,8 +565,8 @@ CodeGen::emitIteration(const LoopSpec &loop, size_t loop_idx,
                 sAlloc_.regOf[op.dst] = -1;
             }
             break;
-          }
-          case K::SLoadSlot: {
+        }
+        case K::SLoadSlot: {
             int rd = allocS(op.dst, loop_idx);
             emit(makeSLoad(sReg(static_cast<uint8_t>(rd)),
                            aReg(kSpillBaseAReg),
@@ -569,8 +577,8 @@ CodeGen::emitIteration(const LoopSpec &loop, size_t loop_idx,
                 sAlloc_.regOf[op.dst] = -1;
             }
             break;
-          }
-          case K::SStoreSlot: {
+        }
+        case K::SStoreSlot: {
             int rs = ensureS(op.srcs[0], loop_idx);
             emit(makeSStore(sReg(static_cast<uint8_t>(rs)),
                             aReg(kSpillBaseAReg),
@@ -578,8 +586,8 @@ CodeGen::emitIteration(const LoopSpec &loop, size_t loop_idx,
                             /*is_spill=*/true));
             consumeS(op.srcs[0]);
             break;
-          }
-          case K::ScalarChain: {
+        }
+        case K::ScalarChain: {
             // Two interleaved dependence chains, re-seeded every few
             // operations: models the mix of serial and mildly
             // parallel scalar bookkeeping around the vector loops.
@@ -599,7 +607,7 @@ CodeGen::emitIteration(const LoopSpec &loop, size_t loop_idx,
                 emit(makeScalar(opc, sReg(r), sReg(r)));
             }
             break;
-          }
+        }
         }
     }
 

@@ -68,7 +68,8 @@ Kernel::vstoreFixed(int array, VVid v, uint64_t offset_bytes,
 }
 
 VVid
-Kernel::vgather(int array, VVid index)
+Kernel::vgather(int array, VVid index, IndexPattern pattern,
+                uint32_t pattern_param)
 {
     sim_assert(index >= 0 && index < numVVals_, "gather bad index");
     KOp op;
@@ -79,12 +80,15 @@ Kernel::vgather(int array, VVid index)
     op.nsrcs = 1;
     op.array = array;
     op.fixedAddr = true;
+    op.idxPattern = pattern;
+    op.idxParam = pattern_param;
     ops_.push_back(op);
     return op.dst;
 }
 
 void
-Kernel::vscatter(int array, VVid data, VVid index)
+Kernel::vscatter(int array, VVid data, VVid index,
+                 IndexPattern pattern, uint32_t pattern_param)
 {
     sim_assert(data >= 0 && index >= 0, "scatter bad operands");
     KOp op;
@@ -95,6 +99,8 @@ Kernel::vscatter(int array, VVid data, VVid index)
     op.nsrcs = 2;
     op.array = array;
     op.fixedAddr = true;
+    op.idxPattern = pattern;
+    op.idxParam = pattern_param;
     ops_.push_back(op);
 }
 

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/types.hh"
 #include "isa/opcodes.hh"
 
 namespace oova
@@ -58,6 +59,11 @@ struct KOp
     int slot = -1;                 ///< scalar slot id (program scope)
     int chainLen = 0;              ///< ScalarChain length
     uint16_t vlOverride = 0;       ///< 0 = use the iteration VL
+
+    // Gather/scatter only: how the index vector was generated (the
+    // memory system maps banks from the real pattern).
+    IndexPattern idxPattern = IndexPattern::Random;
+    uint32_t idxParam = 0;
 };
 
 /**
@@ -85,9 +91,18 @@ class Kernel
     void vstoreFixed(int array, VVid v, uint64_t offset_bytes = 0,
                      uint16_t vl_override = 0);
 
-    /** Indexed load over the whole array region. */
-    VVid vgather(int array, VVid index);
-    void vscatter(int array, VVid data, VVid index);
+    /**
+     * Indexed load over the whole array region. @p pattern declares
+     * how the index vector was generated (the default Random models
+     * an arbitrary table lookup); @p pattern_param is its parameter
+     * (e.g. the modulus of IndexPattern::CongruentMod).
+     */
+    VVid vgather(int array, VVid index,
+                 IndexPattern pattern = IndexPattern::Random,
+                 uint32_t pattern_param = 0);
+    void vscatter(int array, VVid data, VVid index,
+                  IndexPattern pattern = IndexPattern::Random,
+                  uint32_t pattern_param = 0);
 
     VVid varith(Opcode op, VVid a, VVid b = -1);
     VVid vadd(VVid a, VVid b) { return varith(Opcode::VAdd, a, b); }

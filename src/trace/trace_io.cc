@@ -13,7 +13,8 @@ namespace oova
 namespace
 {
 
-constexpr char kMagic[8] = {'O', 'O', 'V', 'A', 'T', 'R', 'C', '1'};
+// Version 2 added the gather/scatter index-pattern fields.
+constexpr char kMagic[8] = {'O', 'O', 'V', 'A', 'T', 'R', 'C', '2'};
 
 template <typename T>
 void
@@ -82,6 +83,9 @@ saveTrace(const Trace &trace, std::ostream &os)
         put<uint64_t>(os, inst.addr);
         put<uint32_t>(os, inst.regionBytes);
         put<uint8_t>(os, inst.elemSize);
+        put<uint8_t>(os, static_cast<uint8_t>(inst.idxPattern));
+        put<uint32_t>(os, inst.idxParam);
+        put<uint64_t>(os, inst.idxSeed);
         put<uint8_t>(os, inst.taken ? 1 : 0);
         put<uint64_t>(os, inst.target);
         put<uint8_t>(os, inst.isSpill ? 1 : 0);
@@ -124,7 +128,7 @@ loadTrace(Trace &out, std::istream &is)
 
     for (uint64_t n = 0; n < count; ++n) {
         DynInst inst;
-        uint8_t op, num_src, taken, spill, esize;
+        uint8_t op, num_src, taken, spill, esize, ipat;
         if (!get(is, inst.pc) || !get(is, op) ||
             !getReg(is, inst.dst) || !get(is, num_src)) {
             out = Trace();
@@ -140,12 +144,15 @@ loadTrace(Trace &out, std::istream &is)
         }
         if (!get(is, inst.vl) || !get(is, inst.strideBytes) ||
             !get(is, inst.addr) || !get(is, inst.regionBytes) ||
-            !get(is, esize) || !get(is, taken) ||
-            !get(is, inst.target) || !get(is, spill)) {
+            !get(is, esize) || !get(is, ipat) ||
+            !get(is, inst.idxParam) || !get(is, inst.idxSeed) ||
+            !get(is, taken) || !get(is, inst.target) ||
+            !get(is, spill)) {
             out = Trace();
             return false;
         }
         inst.elemSize = esize;
+        inst.idxPattern = static_cast<IndexPattern>(ipat);
         inst.taken = taken != 0;
         inst.isSpill = spill != 0;
         out.push(inst);

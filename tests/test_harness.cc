@@ -248,14 +248,96 @@ TEST(Speedup, ZeroCyclesIsNaNNotZero)
 TEST(FigureRegistry, AllFiguresRegisteredAndFindable)
 {
     const auto &registry = figureRegistry();
-    EXPECT_EQ(registry.size(), 18u);
+    EXPECT_EQ(registry.size(), 20u);
     EXPECT_NE(findFigure("fig5"), nullptr);
     EXPECT_NE(findFigure("fig5_speedup"), nullptr);
     EXPECT_EQ(findFigure("fig5"), findFigure("fig5_speedup"));
     EXPECT_NE(findFigure("membank"), nullptr);
     EXPECT_NE(findFigure("mem_stride"), nullptr);
     EXPECT_EQ(findFigure("memlat"), findFigure("mem_latbanks"));
+    EXPECT_EQ(findFigure("memunits"), findFigure("mem_units"));
+    EXPECT_EQ(findFigure("memgather"), findFigure("mem_gather"));
     EXPECT_EQ(findFigure("nope"), nullptr);
+}
+
+namespace
+{
+
+/** Drive parseCommonFlag over a whole argv the way the drivers do. */
+int
+parseAll(std::vector<const char *> args, FigureOptions &opts)
+{
+    args.insert(args.begin(), "prog");
+    int argc = static_cast<int>(args.size());
+    char **argv = const_cast<char **>(args.data());
+    for (int i = 1; i < argc; ++i) {
+        int r = parseCommonFlag(argc, argv, i, opts);
+        if (r != 1)
+            return r;
+    }
+    return 1;
+}
+
+} // namespace
+
+TEST(FigureFlags, AcceptsWellFormedValues)
+{
+    FigureOptions opts;
+    EXPECT_EQ(parseAll({"--threads", "8", "--json", "--scale", "0.5"},
+                       opts),
+              1);
+    EXPECT_EQ(opts.threads, 8u);
+    EXPECT_TRUE(opts.json);
+    EXPECT_EQ(opts.scale, 0.5);
+}
+
+TEST(FigureFlags, RejectsMalformedThreads)
+{
+    // "-3" wraps to a huge unsigned through strtoul; "4x" has
+    // trailing garbage; a missing value must not read past argv.
+    FigureOptions opts;
+    EXPECT_EQ(parseAll({"--threads", "-3"}, opts), -1);
+    EXPECT_EQ(parseAll({"--threads", "4x"}, opts), -1);
+    EXPECT_EQ(parseAll({"--threads", ""}, opts), -1);
+    EXPECT_EQ(parseAll({"--threads", "999999999999"}, opts), -1);
+    EXPECT_EQ(parseAll({"--threads"}, opts), -1);
+    EXPECT_EQ(parseAll({"--threads", "0"}, opts), 1)
+        << "0 legitimately means hardware concurrency";
+}
+
+TEST(FigureFlags, RejectsMalformedScale)
+{
+    FigureOptions opts;
+    EXPECT_EQ(parseAll({"--scale", "-2"}, opts), -1);
+    EXPECT_EQ(parseAll({"--scale", "0"}, opts), -1);
+    EXPECT_EQ(parseAll({"--scale", "abc"}, opts), -1);
+    EXPECT_EQ(parseAll({"--scale", "nan"}, opts), -1);
+    EXPECT_EQ(parseAll({"--scale"}, opts), -1);
+}
+
+TEST(FigureFlags, UnknownFlagIsNotConsumed)
+{
+    FigureOptions opts;
+    EXPECT_EQ(parseAll({"--frobnicate"}, opts), 0);
+}
+
+TEST(FigureMain, UnknownFigureAndBadFlagsExitNonZero)
+{
+    // runFigureMain is the entry point of every per-figure binary
+    // (and the oova_bench driver shares its flag parser): a typoed
+    // figure id or malformed flag must fail loudly for CI.
+    const char *bad_fig[] = {"prog"};
+    EXPECT_EQ(runFigureMain("nosuchfigure", 1,
+                            const_cast<char **>(bad_fig)),
+              2);
+    const char *bad_threads[] = {"prog", "--threads", "-3"};
+    EXPECT_EQ(runFigureMain("fig4", 3,
+                            const_cast<char **>(bad_threads)),
+              2);
+    const char *bad_scale[] = {"prog", "--scale", "0"};
+    EXPECT_EQ(runFigureMain("fig4", 3,
+                            const_cast<char **>(bad_scale)),
+              2);
 }
 
 TEST(FigureRegistry, FigureOutputIdenticalAcrossThreadCounts)

@@ -8,6 +8,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "core/ooosim.hh"
 #include "harness/experiment.hh"
 #include "mem/membus.hh"
@@ -189,6 +192,250 @@ TEST(BankedMemory, DataFollowsAddressPhase)
     EXPECT_EQ(a.lastData, a.end + 100);
 }
 
+// ------------------------------------------- multi-unit arbitration
+
+namespace
+{
+
+std::unique_ptr<MemorySystem>
+makeMultiUnit(unsigned banks, unsigned units,
+              LsPolicy policy = LsPolicy::Shared,
+              unsigned latency = 50)
+{
+    MemConfig cfg = makeMultiUnitMem(banks, units, policy);
+    return makeMemorySystem(cfg, latency);
+}
+
+} // namespace
+
+TEST(MultiUnit, DisjointBankStreamsOverlapOnTwoUnits)
+{
+    // Stride 2 over 8 banks: stream A (even base) touches banks
+    // {0,2,4,6}, stream B (base offset one word) banks {1,3,5,7}.
+    // With one unit the phases serialize; with two they overlap
+    // fully and conflict-free.
+    auto one = makeMultiUnit(8, 1);
+    MemAccess a1 = one->reserve(0, 0x1000, 16, 32, MemOp::Load);
+    MemAccess b1 = one->reserve(0, 0x2008, 16, 32, MemOp::Load);
+    EXPECT_EQ(a1.end, 32u);
+    EXPECT_GE(b1.start, a1.end);
+    EXPECT_EQ(b1.end, 64u);
+
+    auto two = makeMultiUnit(8, 2);
+    MemAccess a2 = two->reserve(0, 0x1000, 16, 32, MemOp::Load);
+    MemAccess b2 = two->reserve(0, 0x2008, 16, 32, MemOp::Load);
+    EXPECT_EQ(a2.end, 32u);
+    EXPECT_EQ(b2.start, 0u) << "second unit starts immediately";
+    EXPECT_EQ(b2.end, 32u);
+    EXPECT_EQ(two->stats().bankConflicts, 0u);
+    EXPECT_EQ(two->freeAt(), 32u);
+}
+
+TEST(MultiUnit, SameBankStreamsStillSerializeAcrossUnits)
+{
+    // Two units but both streams walk bank 0 only (stride = bank
+    // count): the second stream's elements keep colliding with the
+    // first's bank occupancy, so overlap buys (almost) nothing.
+    auto two = makeMultiUnit(8, 2);
+    MemAccess a = two->reserve(0, 0x1000, 64, 16, MemOp::Load);
+    MemAccess b = two->reserve(0, 0x2000, 64, 16, MemOp::Load);
+    EXPECT_EQ(a.end, 15u * 4 + 1);
+    // Stream B interleaves into the same bank's busy slots: its
+    // last element cannot land before ~2x the single-stream time.
+    EXPECT_GE(b.end, 2 * 15u * 4 - 4);
+    EXPECT_GT(two->stats().bankConflicts, 0u);
+}
+
+TEST(MultiUnit, ThirdStreamWaitsForAFreeUnit)
+{
+    auto two = makeMultiUnit(8, 2);
+    MemAccess a = two->reserve(0, 0x1000, 8, 16, MemOp::Load);
+    MemAccess b = two->reserve(0, 0x2008, 8, 16, MemOp::Load);
+    // Both units busy until their phases end; a third stream must
+    // wait for the earliest one.
+    MemAccess c = two->reserve(0, 0x3000, 8, 16, MemOp::Load);
+    EXPECT_GE(c.start, std::min(a.end, b.end));
+}
+
+TEST(MultiUnit, SplitPolicyDedicatesUnitsPerDirection)
+{
+    // Stride-2 streams: the loads walk the even banks, the store
+    // the odd banks, so only unit assignment orders them.
+    auto split = makeMultiUnit(8, 2, LsPolicy::Split);
+    // Loads serialize against loads on the load unit...
+    MemAccess la = split->reserve(0, 0x1000, 16, 16, MemOp::Load);
+    MemAccess lb = split->reserve(0, 0x2000, 16, 16, MemOp::Load);
+    EXPECT_GE(lb.start, la.end);
+    // ...while a store runs on its own unit, overlapping the loads.
+    MemAccess s = split->reserve(0, 0x4008, 16, 16, MemOp::Store);
+    EXPECT_EQ(s.start, 0u);
+    EXPECT_EQ(split->freeAt(MemOp::Store), s.end);
+    EXPECT_GT(split->freeAt(MemOp::Load), s.end);
+}
+
+TEST(MultiUnit, FlatBusScalesAcrossUnitsToo)
+{
+    MemConfig cfg;
+    cfg.memUnits = 2;
+    auto flat = makeMemorySystem(cfg, 50);
+    MemAccess a = flat->reserve(0, 0x1000, 8, 32, MemOp::Load);
+    MemAccess b = flat->reserve(0, 0x2000, 8, 32, MemOp::Load);
+    EXPECT_EQ(a.start, 0u);
+    EXPECT_EQ(b.start, 0u) << "second bus grants in parallel";
+    EXPECT_EQ(flat->stats().requests, 64u);
+    // Overlapping bus occupancy merges in the busy recorder.
+    EXPECT_EQ(flat->busy().busyCycles(), 32u);
+}
+
+// ------------------------------------------- index-vector reserve
+
+TEST(IndexedReserve, PermutationAddressesRunConflictFree)
+{
+    // A bank-friendly permutation of 32 consecutive words (odd step
+    // 5): every bank revisit is 8 elements apart, beyond the 4-cycle
+    // busy time.
+    auto mem = makeBanked(8, 1, 4);
+    std::vector<Addr> addrs;
+    for (unsigned i = 0; i < 32; ++i)
+        addrs.push_back(0x1000 + ((i * 5) % 32) * 8);
+    MemAccess a = mem->reserve(0, addrs, MemOp::Load);
+    EXPECT_EQ(a.start, 0u);
+    EXPECT_EQ(a.end, 32u);
+    EXPECT_EQ(mem->stats().bankConflicts, 0u);
+    EXPECT_EQ(mem->stats().indexedConflicts, 0u);
+}
+
+TEST(IndexedReserve, CongruentIndicesDilateOnOneBank)
+{
+    // All addresses congruent mod 8 words: one bank, serialized at
+    // the bank busy time — and counted as indexed conflicts.
+    auto mem = makeBanked(8, 1, 4);
+    std::vector<Addr> addrs;
+    for (unsigned i = 0; i < 16; ++i)
+        addrs.push_back(0x1000 + i * 8 * 8);
+    MemAccess a = mem->reserve(0, addrs, MemOp::Load);
+    EXPECT_EQ(a.end, 15u * 4 + 1);
+    EXPECT_EQ(mem->stats().bankConflicts, 15u);
+    EXPECT_EQ(mem->stats().indexedConflicts, 15u);
+    EXPECT_GT(mem->stats().indexedConflictCycles, 0u);
+    EXPECT_EQ(mem->stats().stridedConflicts(), 0u);
+}
+
+TEST(IndexedReserve, StridedAndIndexedConflictsSplitCleanly)
+{
+    auto mem = makeBanked(8, 1, 4);
+    // A strided one-bank stream first...
+    mem->reserve(0, 0x1000, 64, 8, MemOp::Load);
+    uint64_t strided = mem->stats().bankConflicts;
+    EXPECT_GT(strided, 0u);
+    EXPECT_EQ(mem->stats().indexedConflicts, 0u);
+    // ...then an indexed one-bank stream: only the indexed counters
+    // move.
+    std::vector<Addr> addrs;
+    for (unsigned i = 0; i < 8; ++i)
+        addrs.push_back(0x8000 + i * 64);
+    mem->reserve(mem->freeAt(), addrs, MemOp::Load);
+    EXPECT_GT(mem->stats().indexedConflicts, 0u);
+    EXPECT_EQ(mem->stats().stridedConflicts(), strided);
+}
+
+TEST(IndexedReserve, FlatBusTimingMatchesStridedEquivalent)
+{
+    // The flat bus has no banks, so an index-vector reservation must
+    // time exactly like a strided one of the same element count —
+    // which is what keeps FlatBus figures byte-identical.
+    auto flat = makeFlat(50);
+    std::vector<Addr> addrs = {0x10, 0x4000, 0x8, 0x20000};
+    MemAccess a = flat->reserve(7, addrs, MemOp::Load);
+    EXPECT_EQ(a.start, 7u);
+    EXPECT_EQ(a.end, 11u);
+    EXPECT_EQ(a.firstData, 57u);
+    EXPECT_EQ(a.lastData, 61u);
+}
+
+TEST(IndexedReserve, ZeroElementIndexVectorIsNoop)
+{
+    auto banked = makeBanked(8);
+    MemAccess a = banked->reserve(42, std::vector<Addr>{}, MemOp::Load);
+    EXPECT_EQ(a.start, 42u);
+    EXPECT_EQ(a.end, 42u);
+    EXPECT_EQ(banked->freeAt(), 0u);
+    EXPECT_EQ(banked->stats().requests, 0u);
+}
+
+TEST(IndexedElemAddrs, ZeroLengthGatherReservesNothing)
+{
+    // vl == 0 must mirror the strided path's zero-element no-op.
+    DynInst gi;
+    gi.op = Opcode::VGather;
+    gi.vl = 0;
+    gi.addr = 0x1000;
+    gi.regionBytes = 4096;
+    gi.idxPattern = IndexPattern::Permutation;
+    EXPECT_TRUE(indexedElemAddrs(gi).empty());
+}
+
+TEST(CachedMemory, IndexedStreamFillConflictsCountAsIndexed)
+{
+    // Cache over a 2-bank backing: every line fill alternates two
+    // banks faster than the bank busy time, so fills conflict. When
+    // the requesting stream is a gather, those conflicts must land
+    // in the indexed counters, not the strided remainder.
+    MemConfig cfg = makeCachedMem(4 * 1024, 8, MemModel::Banked);
+    cfg.banks = 2;
+    auto mem = makeMemorySystem(cfg, 50);
+    std::vector<Addr> addrs;
+    for (unsigned i = 0; i < 16; ++i)
+        addrs.push_back(static_cast<Addr>(i) * 64 * 8);
+    mem->reserve(0, addrs, MemOp::Load);
+    EXPECT_EQ(mem->stats().cacheMisses, 16u);
+    EXPECT_GT(mem->stats().bankConflicts, 0u);
+    EXPECT_EQ(mem->stats().indexedConflicts,
+              mem->stats().bankConflicts);
+    EXPECT_EQ(mem->stats().stridedConflicts(), 0u);
+}
+
+TEST(IndexedElemAddrs, PatternsHaveTheAdvertisedShape)
+{
+    DynInst gi;
+    gi.op = Opcode::VGather;
+    gi.vl = 64;
+    gi.addr = 0x100000;
+    gi.regionBytes = 64 * 1024;
+    gi.elemSize = 8;
+    gi.idxSeed = 12345;
+
+    gi.idxPattern = IndexPattern::None;
+    std::vector<Addr> walk = indexedElemAddrs(gi);
+    ASSERT_EQ(walk.size(), 64u);
+    for (unsigned i = 0; i < 64; ++i)
+        EXPECT_EQ(walk[i], gi.addr + i * 8u);
+
+    gi.idxPattern = IndexPattern::Permutation;
+    std::vector<Addr> perm = indexedElemAddrs(gi);
+    std::vector<Addr> sorted = perm;
+    std::sort(sorted.begin(), sorted.end());
+    // A permutation of a contiguous window: 64 distinct consecutive
+    // words.
+    for (unsigned i = 1; i < 64; ++i)
+        EXPECT_EQ(sorted[i], sorted[i - 1] + 8);
+    EXPECT_NE(perm, sorted) << "shuffled, not the identity walk";
+
+    gi.idxPattern = IndexPattern::CongruentMod;
+    gi.idxParam = 8;
+    for (Addr a : indexedElemAddrs(gi))
+        EXPECT_EQ((a / 8) % 8, (indexedElemAddrs(gi)[0] / 8) % 8)
+            << "all elements share one residue class";
+
+    gi.idxPattern = IndexPattern::Random;
+    std::vector<Addr> rnd = indexedElemAddrs(gi);
+    EXPECT_EQ(rnd, indexedElemAddrs(gi)) << "deterministic";
+    for (Addr a : rnd) {
+        EXPECT_GE(a, gi.addr);
+        EXPECT_LT(a, gi.addr + gi.regionBytes);
+    }
+}
+
 // ----------------------------------------------------- CachedMemory
 
 TEST(CachedMemory, UnitStrideMissesOncePerLine)
@@ -266,6 +513,57 @@ TEST(MemConfig, LabelsReflectModelParameters)
     OooConfig ooo;
     ooo.mem = makeBankedMem(8);
     EXPECT_EQ(ooo.name(), "OOOVA-16/16r/early/mb8p1");
+}
+
+TEST(MemConfig, UnitCountAndPolicyRoundTripThroughLabels)
+{
+    EXPECT_EQ(makeMultiUnitMem(8, 2).label(), "/mb8p1x2");
+    EXPECT_EQ(makeMultiUnitMem(8, 2, LsPolicy::Split).label(),
+              "/mb8p1x2s");
+    EXPECT_EQ(makeMultiUnitMem(16, 4, LsPolicy::Shared, 2).label(),
+              "/mb16p2x4");
+    // One unit is the default and stays invisible, for every model.
+    EXPECT_EQ(makeMultiUnitMem(8, 1).label(), "/mb8p1");
+    MemConfig flat;
+    flat.memUnits = 2;
+    EXPECT_EQ(flat.label(), "/x2");
+    flat.lsPolicy = LsPolicy::Split;
+    EXPECT_EQ(flat.label(), "/x2s");
+    MemConfig cached = makeCachedMem();
+    cached.memUnits = 2;
+    EXPECT_EQ(cached.label(), "/c32k4w8mx2");
+
+    OooConfig ooo;
+    ooo.mem = makeMultiUnitMem(8, 2);
+    EXPECT_EQ(ooo.name(), "OOOVA-16/16r/early/mb8p1x2");
+
+    Trace t("one-load");
+    t.push(makeVLoad(vReg(0), aReg(0), 0x1000, 8, 16));
+    RefConfig ref;
+    ref.mem = makeMultiUnitMem(4, 2, LsPolicy::Split);
+    EXPECT_EQ(simulateRef(t, ref).machine, "REF/mb4p1x2s");
+}
+
+TEST(MemSystemSim, TwoUnitsSpeedUpDualStreamPrograms)
+{
+    // Whole-simulator version of the memunits figure's headline: a
+    // hand-built dual-load program on disjoint bank sets runs >=
+    // 1.5x faster with a second memory unit.
+    Trace t("dual");
+    Addr a = 0x100000, b = 0x200008;
+    for (int k = 0; k < 24; ++k) {
+        t.push(makeVLoad(vReg(0), aReg(0), a, 16, 64));
+        t.push(makeVLoad(vReg(1), aReg(1), b, 16, 64));
+        t.push(makeVArith(Opcode::VAdd, vReg(2), vReg(0), vReg(1),
+                          64));
+        a += 64 * 16;
+        b += 64 * 16;
+    }
+    SimResult one = simulateOoo(t, makeMultiUnitOooConfig(8, 1));
+    SimResult two = simulateOoo(t, makeMultiUnitOooConfig(8, 2));
+    EXPECT_GE(speedup(one, two), 1.5);
+    EXPECT_EQ(two.memBankConflicts, 0u) << "disjoint bank sets";
+    EXPECT_EQ(two.machine, "OOOVA-16/16r/early/mb8p1x2");
 }
 
 TEST(MemConfig, RefMachineLabelReflectsModel)
