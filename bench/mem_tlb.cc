@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Virtual-memory study: the OOOVA on the flat bus with a TLB in
+ * front, swept over TLB reach (entries x page size) across the ten
+ * benchmarks, plus a hardware-walk vs software-trap refill
+ * comparison under late commit. Strided streams translate once per
+ * page crossed and stay warm; nasa7's random gather translates per
+ * element and thrashes small TLBs.
+ */
+
+#include "harness/figure.hh"
+
+int
+main(int argc, char **argv)
+{
+    return oova::runFigureMain("memtlb", argc, argv);
+}

@@ -34,6 +34,13 @@ export OOVA_SCALE=0.25
 
 figures="$("$BENCH" --list | awk '{print $1}' | grep -v '^simspeed$')"
 
+# An empty figure list means --list itself failed; a gate that
+# "passes" over nothing is worse than one that fails.
+if [ -z "$figures" ]; then
+    echo "check_goldens: '$BENCH --list' produced no figures" >&2
+    exit 2
+fi
+
 if [ "$MODE" = "--update" ]; then
     mkdir -p "$GOLDEN_DIR"
     for fig in $figures; do
@@ -45,10 +52,11 @@ if [ "$MODE" = "--update" ]; then
 fi
 
 fail=0
+missing=""
 for fig in $figures; do
     golden="$GOLDEN_DIR/$fig.txt"
     if [ ! -f "$golden" ]; then
-        echo "MISSING GOLDEN: $fig (run $0 $BENCH --update)" >&2
+        missing="$missing $fig"
         fail=1
         continue
     fi
@@ -59,6 +67,15 @@ for fig in $figures; do
     fi
 done
 rm -f /tmp/golden_diff_$$
+
+# Every registered non-timing figure must be golden-gated: a new
+# figure registered without a capture would otherwise dodge the gate
+# until someone noticed. Name the offenders explicitly.
+if [ -n "$missing" ]; then
+    echo "MISSING GOLDENS:$missing" >&2
+    echo "every registered figure needs tests/golden/<fig>.txt;" \
+         "capture with: $0 $BENCH --update" >&2
+fi
 
 # Stale goldens for figures that no longer exist are also an error:
 # they mean the gate is checking nothing.

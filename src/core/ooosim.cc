@@ -57,6 +57,17 @@ struct RobEntry
     bool faultArmed = false;       ///< will page-fault at issue
     bool faulted = false;          ///< fault pending trap at head
     bool wasMispredicted = false;  ///< fetch stalled on this branch
+
+    /**
+     * Software TLB refill pending trap delivery: the pages whose
+     * translations the handler will install when this entry's trap
+     * is taken at the ROB head. Installing only at delivery keeps a
+     * squash-discarded fault marking from leaking installs (which
+     * would let the squashed stream refill for free on replay).
+     */
+    bool tlbRefillPending = false;
+    bool tlbRefillIndexed = false;
+    std::vector<Addr> tlbRefillPages;
 };
 
 class OooMachine
@@ -136,6 +147,7 @@ class OooMachine
     size_t fetchIndex_ = 0;
     Cycle fetchStalledUntil_ = 0;  ///< kNoCycle = until resolve
     SeqNum redirectSeq_ = kNoSeq;  ///< branch fetch is stalled on
+    SeqNum lastTlbTrapSeq_ = kNoSeq; ///< last TLB software-refill trap
     std::unordered_set<SeqNum> mispredictedSeqs_;
 
     Cycle fu1Free_ = 0, fu2Free_ = 0;
@@ -544,13 +556,52 @@ OooMachine::memIssueStep()
             return true;
         }
 
+        // Gather/scatter element addresses, shared by the TLB
+        // detection below and the reservation itself.
+        std::vector<Addr> elem_addrs;
+        if (di.isIndexedMem())
+            elem_addrs = indexedElemAddrs(di);
+
+        // Software-refilled TLB (precise traps only, hence late
+        // commit): a stream whose translations are not all resident
+        // traps instead of walking in hardware. The pages are
+        // recorded here but installed only when the trap is
+        // delivered at the ROB head, so a marking discarded by an
+        // older trap's squash leaves no installs behind — the
+        // squashed stream re-detects its miss and traps properly on
+        // replay. One trap per dynamic instruction (the
+        // lastTlbTrapSeq_ latch, set at delivery): a stream touching
+        // more pages than the TLB holds would self-evict during
+        // refill and re-trap forever, so its replay hardware-walks
+        // the residue instead (the forward-progress guarantee every
+        // software-managed TLB needs).
+        if (cfg_.commit == CommitMode::Late &&
+            e->seq != lastTlbTrapSeq_) {
+            if (Tlb *tlb = mem_->tlb();
+                tlb &&
+                tlb->config().refill == TlbRefill::SoftwareTrap) {
+                std::vector<Addr> pages =
+                    di.isIndexedMem()
+                        ? tlb->indexedPages(elem_addrs)
+                        : tlb->stridedPages(di.addr, di.strideBytes,
+                                            di.memElems());
+                if (tlb->wouldMiss(pages)) {
+                    e->tlbRefillPages = std::move(pages);
+                    e->tlbRefillIndexed = di.isIndexedMem();
+                    e->tlbRefillPending = true;
+                    e->faulted = true;
+                    return true;
+                }
+            }
+        }
+
         // Gather/scatter reserve their real per-element addresses
         // (the index vector is fully available at issue), so bank
         // conflicts follow the actual index pattern; strided ops
         // reserve base + stride as before.
         MemAccess acc =
             di.isIndexedMem()
-                ? mem_->reserve(now_, indexedElemAddrs(di), mop)
+                ? mem_->reserve(now_, elem_addrs, mop)
                 : mem_->reserve(now_, di.addr, di.strideBytes,
                                 di.memElems(), mop);
         e->memIssued = true;
@@ -869,7 +920,21 @@ OooMachine::takeTrap()
 {
     sim_assert(cfg_.commit == CommitMode::Late,
                "precise traps require the late-commit model");
-    SeqNum fault_seq = rob_.front()->seq;
+    RobEntry *head = rob_.front();
+    SeqNum fault_seq = head->seq;
+
+    // A software TLB refill delivers here: the handler installs the
+    // missing translations (install() re-checks residence, so pages
+    // that arrived since detection are skipped) and the replay of
+    // this instruction skips re-detection via the latch.
+    if (head->tlbRefillPending) {
+        Tlb *tlb = mem_->tlb();
+        sim_assert(tlb != nullptr, "TLB refill trap without a TLB");
+        tlb->install(head->tlbRefillPages, head->tlbRefillIndexed);
+        head->tlbRefillPending = false;
+        head->tlbRefillPages.clear();
+        lastTlbTrapSeq_ = fault_seq;
+    }
 
     // Already-retired eliminated loads whose value timing has not
     // resolved yet keep architected state (they committed); settle
@@ -918,9 +983,12 @@ OooMachine::takeTrap()
         renamer_.file(static_cast<RegClass>(c)).invalidateAllTags();
 
     // Re-execute from the faulting instruction; the page is now
-    // resident so the fault does not recur.
+    // resident so the fault does not recur. Only the injected fault
+    // consumes its injection: a TLB refill trap delivered first must
+    // not disarm a pending injection at a younger instruction.
     fetchIndex_ = fault_seq;
-    fault_.faultSeq = kNoSeq;
+    if (fault_.faultSeq == fault_seq)
+        fault_.faultSeq = kNoSeq;
     fetchStalledUntil_ = now_ + cfg_.trapPenalty;
     ++traps_;
 }
@@ -1058,6 +1126,10 @@ OooMachine::run()
     res.cacheHits = mem_->stats().cacheHits;
     res.cacheMisses = mem_->stats().cacheMisses;
     res.mshrStallCycles = mem_->stats().mshrStallCycles;
+    res.tlbHits = mem_->stats().tlbHits;
+    res.tlbMisses = mem_->stats().tlbMisses;
+    res.tlbIndexedMisses = mem_->stats().tlbIndexedMisses;
+    res.tlbMissCycles = mem_->stats().tlbMissCycles;
     res.vectorLoadsEliminated = vElims_;
     res.scalarLoadsEliminated = sElims_;
     res.branchMispredicts = mispredicts_;

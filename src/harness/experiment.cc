@@ -78,6 +78,36 @@ makeMultiUnitOooConfig(unsigned banks, unsigned units,
     return cfg;
 }
 
+TlbConfig
+makeTlb(unsigned entries, unsigned page_bytes, TlbRefill refill)
+{
+    TlbConfig cfg;
+    cfg.enabled = true;
+    cfg.entries = entries;
+    cfg.pageBytes = page_bytes;
+    cfg.refill = refill;
+    return cfg;
+}
+
+OooConfig
+makeTlbOooConfig(unsigned entries, unsigned page_bytes,
+                 unsigned mem_latency, CommitMode commit,
+                 TlbRefill refill)
+{
+    OooConfig cfg = makeOooConfig(16, 16, mem_latency, commit);
+    cfg.mem.tlb = makeTlb(entries, page_bytes, refill);
+    return cfg;
+}
+
+RefConfig
+makeTlbBankedRefConfig(unsigned banks, unsigned entries,
+                       unsigned page_bytes, unsigned mem_latency)
+{
+    RefConfig cfg = makeBankedRefConfig(banks, mem_latency);
+    cfg.mem.tlb = makeTlb(entries, page_bytes);
+    return cfg;
+}
+
 double
 speedup(const SimResult &base, const SimResult &x)
 {

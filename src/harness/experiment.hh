@@ -77,6 +77,28 @@ OooConfig makeMultiUnitOooConfig(unsigned banks, unsigned units,
                                  LsPolicy policy = LsPolicy::Shared,
                                  unsigned mem_latency = 50);
 
+/** An enabled TLB with the standard sweep knobs. */
+TlbConfig makeTlb(unsigned entries, unsigned page_bytes = 4096,
+                  TlbRefill refill = TlbRefill::HardwareWalk);
+
+/**
+ * Default OOOVA on the flat bus with a TLB in front, isolating
+ * translation cost from bank effects (the memtlb figure).
+ */
+OooConfig makeTlbOooConfig(unsigned entries,
+                           unsigned page_bytes = 4096,
+                           unsigned mem_latency = 50,
+                           CommitMode commit = CommitMode::Early,
+                           TlbRefill refill = TlbRefill::HardwareWalk);
+
+/**
+ * Reference machine over banked memory with a TLB in front (the
+ * memgather TLB-interaction section).
+ */
+RefConfig makeTlbBankedRefConfig(unsigned banks, unsigned entries,
+                                 unsigned page_bytes = 4096,
+                                 unsigned mem_latency = 50);
+
 /**
  * base.cycles / x.cycles — how much faster x is than base. A result
  * with x.cycles == 0 can only come from a broken simulation, so the

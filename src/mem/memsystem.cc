@@ -349,6 +349,9 @@ class CachedMemory : public MemorySystem
         // The backing bus serves line fills from every front unit.
         back.memUnits = 1;
         back.lsPolicy = LsPolicy::Shared;
+        // Line fills are physically addressed: translation happens
+        // once, in front of the cache, never again behind it.
+        back.tlb.enabled = false;
         backing_ = makeMemorySystem(back, latency);
     }
 
@@ -523,20 +526,23 @@ MemConfig::label() const
         if (lsPolicy == LsPolicy::Split)
             units += "s";
     }
+    std::string l;
     switch (model) {
     case MemModel::FlatBus:
-        return units.empty() ? "" : "/" + units;
+        l = units.empty() ? "" : "/" + units;
+        break;
     case MemModel::Banked:
-        return csprintf("/mb%up%u", banks, addressPorts) + units;
-    case MemModel::Cached: {
-        std::string l = csprintf("/c%uk%uw%um", cacheBytes / 1024,
-                                 associativity, mshrs);
+        l = csprintf("/mb%up%u", banks, addressPorts) + units;
+        break;
+    case MemModel::Cached:
+        l = csprintf("/c%uk%uw%um", cacheBytes / 1024, associativity,
+                     mshrs);
         if (backing == MemModel::Banked)
             l += csprintf("b%u", banks);
-        return l + units;
+        l += units;
+        break;
     }
-    }
-    return "";
+    return l + tlb.label();
 }
 
 MemConfig
@@ -578,19 +584,27 @@ makeMemorySystem(const MemConfig &cfg, unsigned mem_latency)
 {
     if (cfg.memUnits == 0)
         fatal("memory system needs >= 1 load/store unit");
+    std::unique_ptr<MemorySystem> mem;
     switch (cfg.model) {
     case MemModel::FlatBus:
-        return std::make_unique<FlatBus>(cfg, mem_latency);
+        mem = std::make_unique<FlatBus>(cfg, mem_latency);
+        break;
     case MemModel::Banked:
         if (cfg.banks == 0 || cfg.addressPorts == 0)
             fatal("banked memory needs >= 1 bank and >= 1 port");
-        return std::make_unique<BankedMemory>(cfg, mem_latency);
+        mem = std::make_unique<BankedMemory>(cfg, mem_latency);
+        break;
     case MemModel::Cached:
         if (cfg.backing == MemModel::Cached)
             fatal("cache backing must be FlatBus or Banked");
-        return std::make_unique<CachedMemory>(cfg, mem_latency);
+        mem = std::make_unique<CachedMemory>(cfg, mem_latency);
+        break;
     }
-    panic("unknown memory model %d", static_cast<int>(cfg.model));
+    if (!mem)
+        panic("unknown memory model %d", static_cast<int>(cfg.model));
+    if (cfg.tlb.enabled)
+        mem = wrapWithTlb(std::move(mem), cfg.tlb);
+    return mem;
 }
 
 } // namespace oova

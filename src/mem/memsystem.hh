@@ -44,6 +44,7 @@
 
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "mem/tlb.hh"
 
 namespace oova
 {
@@ -119,12 +120,19 @@ struct MemConfig
     /** Data latency of a cache hit. */
     unsigned cacheHitLatency = 2;
 
+    // ---- translation knobs (all models) ----
+    /**
+     * The TLB in front of the model (see mem/tlb.hh). Disabled by
+     * default: translation is free, labels and timings untouched.
+     */
+    TlbConfig tlb;
+
     /**
      * Config suffix appended to machine names, e.g. "/mb8p1",
      * "/mb8p1x2" (two shared units), "/mb8p1x2s" (split load/store
-     * units) or "/c32k4w8m". Empty for the default single-unit
-     * FlatBus so the seed machine labels (and every paper table)
-     * are unchanged.
+     * units), "/c32k4w8m" or "/t64e4k" (TLB in front of the default
+     * flat bus). Empty for the default single-unit FlatBus so the
+     * seed machine labels (and every paper table) are unchanged.
      */
     std::string label() const;
 };
@@ -196,6 +204,24 @@ struct MemStats
     uint64_t cacheMisses = 0;
     /** Cycles misses waited for a free MSHR. */
     uint64_t mshrStallCycles = 0;
+    /** TLB lookups that found their translation resident. */
+    uint64_t tlbHits = 0;
+    /**
+     * TLB lookups that required a refill; the subset charged to
+     * gather/scatter per-element translation is tlbIndexedMisses
+     * (the strided remainder is stridedTlbMisses()).
+     */
+    uint64_t tlbMisses = 0;
+    uint64_t tlbIndexedMisses = 0;
+    /** Stall cycles hardware page walks added to stream setup. */
+    uint64_t tlbMissCycles = 0;
+
+    /** TLB refills charged to strided (non-indexed) streams. */
+    uint64_t
+    stridedTlbMisses() const
+    {
+        return tlbMisses - tlbIndexedMisses;
+    }
 
     /** Conflicts charged to strided (non-indexed) streams. */
     uint64_t
@@ -260,10 +286,17 @@ class MemorySystem
     virtual Cycle freeAt(MemOp op) const = 0;
 
     /** Occupancy and conflict counters. */
-    const MemStats &stats() const { return stats_; }
+    virtual const MemStats &stats() const { return stats_; }
 
     /** Address-phase busy intervals (the MEM state component). */
     virtual const IntervalRecorder &busy() const { return busy_; }
+
+    /**
+     * The TLB in front of this model, or nullptr when translation is
+     * disabled. The OOOVA uses it to route software-refilled misses
+     * through its precise-trap path.
+     */
+    virtual Tlb *tlb() { return nullptr; }
 
   protected:
     MemStats stats_;

@@ -64,6 +64,12 @@ struct SimResult
     uint64_t cacheHits = 0;
     uint64_t cacheMisses = 0;
     uint64_t mshrStallCycles = 0;   ///< cycles misses waited for an MSHR
+    // Translation detail; all zero while the TLB is disabled.
+    uint64_t tlbHits = 0;
+    uint64_t tlbMisses = 0;         ///< lookups that required a refill
+    /** Subset of tlbMisses from gather/scatter per-element lookups. */
+    uint64_t tlbIndexedMisses = 0;
+    uint64_t tlbMissCycles = 0;     ///< stall cycles from hardware walks
 
     // OOOVA-only detail.
     uint64_t vectorLoadsEliminated = 0;
@@ -93,6 +99,13 @@ struct SimResult
     memStridedConflicts() const
     {
         return memBankConflicts - memIndexedConflicts;
+    }
+
+    /** TLB refills charged to strided (non-indexed) streams. */
+    uint64_t
+    stridedTlbMisses() const
+    {
+        return tlbMisses - tlbIndexedMisses;
     }
 
     /** Instructions per cycle over the whole run. */

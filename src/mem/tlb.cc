@@ -1,0 +1,301 @@
+#include "mem/tlb.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "mem/memsystem.hh"
+
+namespace oova
+{
+
+std::string
+TlbConfig::label() const
+{
+    if (!enabled)
+        return "";
+    std::string l = csprintf("/t%ue", entries);
+    if (pageBytes % 1024 == 0)
+        l += csprintf("%uk", pageBytes / 1024);
+    else
+        l += csprintf("%ub", pageBytes);
+    if (associativity != 4)
+        l += csprintf("a%u", associativity);
+    if (l2Entries)
+        l += csprintf("l%u", l2Entries);
+    if (refill == TlbRefill::SoftwareTrap)
+        l += "s";
+    return l;
+}
+
+// ------------------------------------------------------------ Level
+
+void
+Tlb::Level::init(unsigned entries, unsigned associativity)
+{
+    if (entries == 0)
+        return;
+    assoc = std::min(std::max(associativity, 1u), entries);
+    // Refuse to round: a 10-entry 4-way config would silently hold
+    // 8 translations while its /tNe label claimed 10.
+    if (entries % assoc != 0)
+        fatal("TLB level: %u entries not divisible by %u ways",
+              entries, assoc);
+    sets = entries / assoc;
+    ways.assign(static_cast<size_t>(sets) * assoc, Entry{});
+}
+
+Tlb::Entry *
+Tlb::Level::find(Addr page, uint64_t tick)
+{
+    Entry *set = &ways[(page % sets) * assoc];
+    for (unsigned w = 0; w < assoc; ++w) {
+        if (set[w].valid && set[w].page == page) {
+            set[w].lastUse = tick;
+            return &set[w];
+        }
+    }
+    return nullptr;
+}
+
+const Tlb::Entry *
+Tlb::Level::peek(Addr page) const
+{
+    const Entry *set = &ways[(page % sets) * assoc];
+    for (unsigned w = 0; w < assoc; ++w)
+        if (set[w].valid && set[w].page == page)
+            return &set[w];
+    return nullptr;
+}
+
+void
+Tlb::Level::insert(Addr page, uint64_t tick)
+{
+    Entry *set = &ways[(page % sets) * assoc];
+    Entry *victim = &set[0];
+    for (unsigned w = 0; w < assoc; ++w) {
+        if (!set[w].valid) {
+            victim = &set[w];
+            break;
+        }
+        if (set[w].lastUse < victim->lastUse)
+            victim = &set[w];
+    }
+    victim->page = page;
+    victim->valid = true;
+    victim->lastUse = tick;
+}
+
+// -------------------------------------------------------------- Tlb
+
+Tlb::Tlb(const TlbConfig &cfg) : cfg_(cfg)
+{
+    if (cfg_.entries == 0 || cfg_.pageBytes == 0)
+        fatal("TLB needs >= 1 entry and a non-zero page size");
+    l1_.init(cfg_.entries, cfg_.associativity);
+    l2_.init(cfg_.l2Entries, cfg_.l2Associativity);
+}
+
+std::vector<Addr>
+Tlb::stridedPages(Addr addr, int64_t stride_bytes,
+                  unsigned elems) const
+{
+    std::vector<Addr> pages;
+    Addr prev = 0;
+    bool have_prev = false;
+    for (unsigned i = 0; i < elems; ++i) {
+        Addr a = addr + static_cast<int64_t>(i) * stride_bytes;
+        Addr p = pageOf(a);
+        if (!have_prev || p != prev) {
+            pages.push_back(p);
+            prev = p;
+            have_prev = true;
+        }
+    }
+    return pages;
+}
+
+std::vector<Addr>
+Tlb::indexedPages(const std::vector<Addr> &elem_addrs) const
+{
+    std::vector<Addr> pages;
+    pages.reserve(elem_addrs.size());
+    for (Addr a : elem_addrs)
+        pages.push_back(pageOf(a));
+    return pages;
+}
+
+unsigned
+Tlb::translate(const std::vector<Addr> &pages, bool indexed)
+{
+    unsigned delay = 0;
+    for (Addr p : pages) {
+        ++tick_;
+        if (l1_.find(p, tick_)) {
+            ++hits_;
+            continue;
+        }
+        ++misses_;
+        if (indexed)
+            ++indexedMisses_;
+        unsigned cost;
+        if (!l2_.empty() && l2_.find(p, tick_)) {
+            cost = cfg_.l2HitPenalty;
+        } else {
+            cost = cfg_.missPenalty;
+            if (!l2_.empty())
+                l2_.insert(p, tick_);
+        }
+        l1_.insert(p, tick_);
+        // Misses that reach this point always walk in hardware. With
+        // SoftwareTrap the OOOVA's trap handler pre-installs a
+        // stream's pages so its reserve sees hits and pays nothing
+        // here; machines without a precise-trap path (REF, early
+        // commit) and a stream too large for the TLB to hold fall
+        // through to this walk, so a software-refill configuration
+        // is never silently free.
+        delay += cost;
+        missCycles_ += cost;
+    }
+    return delay;
+}
+
+bool
+Tlb::wouldMiss(const std::vector<Addr> &pages) const
+{
+    // A probe must not disturb LRU state, so it cannot see the fills
+    // earlier lookups of the same stream would perform; a page
+    // repeated in @p pages therefore reports a miss each time. That
+    // is conservative in exactly one direction (a would-miss page is
+    // never reported resident), which is what the trap path needs.
+    for (Addr p : pages) {
+        if (l1_.peek(p))
+            continue;
+        if (!l2_.empty() && l2_.peek(p))
+            continue;
+        return true;
+    }
+    return false;
+}
+
+unsigned
+Tlb::install(const std::vector<Addr> &pages, bool indexed)
+{
+    unsigned installed = 0;
+    for (Addr p : pages) {
+        ++tick_;
+        if (l1_.find(p, tick_))
+            continue;
+        if (!l2_.empty() && l2_.find(p, tick_)) {
+            l1_.insert(p, tick_);
+            continue;
+        }
+        ++misses_;
+        if (indexed)
+            ++indexedMisses_;
+        if (!l2_.empty())
+            l2_.insert(p, tick_);
+        l1_.insert(p, tick_);
+        ++installed;
+    }
+    return installed;
+}
+
+// ---------------------------------------------------------- wrapper
+
+namespace
+{
+
+/**
+ * The translation stage in front of a concrete memory model: every
+ * stream pays its page-lookup stalls before its addresses reach the
+ * wrapped model, and the TLB counters ride on the wrapped model's
+ * stats. Everything else — unit arbitration, busy intervals, free
+ * times — is the inner model's.
+ */
+class TranslatingMemorySystem : public MemorySystem
+{
+  public:
+    TranslatingMemorySystem(std::unique_ptr<MemorySystem> inner,
+                            const TlbConfig &cfg)
+        : inner_(std::move(inner)), tlb_(cfg)
+    {
+    }
+
+    MemAccess
+    reserve(Cycle earliest, Addr addr, int64_t stride_bytes,
+            unsigned elems, MemOp op) override
+    {
+        if (elems == 0)
+            return inner_->reserve(earliest, addr, stride_bytes,
+                                   elems, op);
+        unsigned stall = tlb_.translate(
+            tlb_.stridedPages(addr, stride_bytes, elems), false);
+        MemAccess acc = inner_->reserve(earliest + stall, addr,
+                                        stride_bytes, elems, op);
+        refreshStats();
+        return acc;
+    }
+
+    MemAccess
+    reserve(Cycle earliest, const std::vector<Addr> &elem_addrs,
+            MemOp op) override
+    {
+        if (elem_addrs.empty())
+            return inner_->reserve(earliest, elem_addrs, op);
+        unsigned stall =
+            tlb_.translate(tlb_.indexedPages(elem_addrs), true);
+        MemAccess acc =
+            inner_->reserve(earliest + stall, elem_addrs, op);
+        refreshStats();
+        return acc;
+    }
+
+    Cycle freeAt() const override { return inner_->freeAt(); }
+
+    Cycle freeAt(MemOp op) const override { return inner_->freeAt(op); }
+
+    const IntervalRecorder &busy() const override
+    {
+        return inner_->busy();
+    }
+
+    const MemStats &
+    stats() const override
+    {
+        refreshStats();
+        return merged_;
+    }
+
+    Tlb *tlb() override { return &tlb_; }
+
+  private:
+    /**
+     * Re-merge after every reserve() as well as on stats() reads, so
+     * a reference held across reserve() calls observes fresh
+     * counters just as it would on the bare models.
+     */
+    void
+    refreshStats() const
+    {
+        merged_ = inner_->stats();
+        merged_.tlbHits = tlb_.hits();
+        merged_.tlbMisses = tlb_.misses();
+        merged_.tlbIndexedMisses = tlb_.indexedMisses();
+        merged_.tlbMissCycles = tlb_.missCycles();
+    }
+
+    std::unique_ptr<MemorySystem> inner_;
+    Tlb tlb_;
+    mutable MemStats merged_;
+};
+
+} // namespace
+
+std::unique_ptr<MemorySystem>
+wrapWithTlb(std::unique_ptr<MemorySystem> inner, const TlbConfig &cfg)
+{
+    return std::make_unique<TranslatingMemorySystem>(std::move(inner),
+                                                     cfg);
+}
+
+} // namespace oova

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * The virtual-memory translation stage: a set-associative TLB that
+ * sits in front of every MemorySystem model.
+ *
+ * The paper's memory system is physically addressed and fault-free,
+ * but the OOOVA's headline claim is precise exceptions under
+ * decoupled vector execution — and modern vector evaluations treat
+ * address translation as a first-class cost for indexed accesses,
+ * where every element of a gather can touch a different page.
+ *
+ * Translation granularity matches how the address unit works:
+ *
+ *  - a strided stream generates its addresses in order, so it
+ *    translates once per page crossed — unit stride touching one
+ *    page costs one lookup no matter the vector length;
+ *  - a gather/scatter translates per element (the index vector is
+ *    fully available at issue), so its TLB behaviour follows the
+ *    recorded IndexPattern: a bank-friendly permutation stays inside
+ *    one page window while uniform-random indices thrash any
+ *    small TLB.
+ *
+ * Refill policy (TlbRefill): a HardwareWalk charges missPenalty
+ * stall cycles per refill inside the memory model, serializing the
+ * stream's setup. SoftwareTrap instead raises a precise trap through
+ * the OOOVA's existing squash-and-replay path (late commit only; the
+ * trap handler installs the missing translations, so the replay
+ * hits). Machines without a precise-trap path — the REF machine, or
+ * the OOOVA under early commit — fall back to hardware-walk charging
+ * so a software-refill configuration is never silently free.
+ *
+ * Accounting note for SoftwareTrap: the faulting attempt records its
+ * misses when the trap handler installs the translations, charging
+ * no stall cycles — the cost is the trap penalty, visible in cycles
+ * and SimResult::traps — and the replayed attempt's lookups count as
+ * hits. Misses that still reach a reserve() (fallback machines, or
+ * the residue of a stream too large for the TLB to hold at once)
+ * walk in hardware and accrue tlbMissCycles as usual.
+ */
+
+#ifndef OOVA_MEM_TLB_HH
+#define OOVA_MEM_TLB_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace oova
+{
+
+class MemorySystem;
+
+/** How a TLB miss is refilled. */
+enum class TlbRefill : uint8_t
+{
+    /** Hardware page walk: missPenalty stall cycles per refill. */
+    HardwareWalk,
+    /**
+     * Software-managed TLB: a miss raises a precise trap on the
+     * OOOVA's late-commit path (the handler installs the missing
+     * translations and the instruction replays). Falls back to
+     * hardware-walk charging on machines without a precise-trap
+     * path.
+     */
+    SoftwareTrap,
+};
+
+/** TLB configuration, embedded in MemConfig. */
+struct TlbConfig
+{
+    /**
+     * Off by default: translation is free and invisible, so every
+     * pre-existing figure and machine label is byte-identical.
+     */
+    bool enabled = false;
+
+    /** First-level entries. */
+    unsigned entries = 64;
+    /** Page size in bytes. */
+    unsigned pageBytes = 4096;
+    /** Ways per set (>= entries means fully associative). */
+    unsigned associativity = 4;
+    /** Stall cycles charged per hardware page walk. */
+    unsigned missPenalty = 30;
+
+    /** Optional second level: 0 disables it. */
+    unsigned l2Entries = 0;
+    /** Ways per set of the second level. */
+    unsigned l2Associativity = 8;
+    /** Stall cycles when an L1 miss hits the second level. */
+    unsigned l2HitPenalty = 6;
+
+    TlbRefill refill = TlbRefill::HardwareWalk;
+
+    /**
+     * Config suffix appended to the memory-model label, e.g.
+     * "/t64e4k" (64 entries, 4 KiB pages), "/t16e4ka2" (2-way),
+     * "/t64e4kl512" (512-entry second level), "/t64e4ks" (software
+     * refill). Empty while disabled, so default labels are
+     * untouched.
+     */
+    std::string label() const;
+};
+
+/**
+ * The TLB proper: L1 (and optional L2) set-associative translation
+ * arrays with LRU replacement, plus the hit/miss/stall counters
+ * surfaced through MemStats. Owned by the translation wrapper that
+ * makeMemorySystem puts in front of the selected model; reachable
+ * from the simulators via MemorySystem::tlb() for the
+ * software-refill trap path.
+ */
+class Tlb
+{
+  public:
+    explicit Tlb(const TlbConfig &cfg);
+
+    const TlbConfig &config() const { return cfg_; }
+
+    /** Page number of a byte address. */
+    Addr pageOf(Addr a) const { return a / cfg_.pageBytes; }
+
+    /**
+     * The lookup sequence of a strided stream: one entry per page
+     * crossing, in first-touch order (a page re-entered later in the
+     * stream appears again — it is looked up again, and normally
+     * hits). Empty for zero-element streams.
+     */
+    std::vector<Addr> stridedPages(Addr addr, int64_t stride_bytes,
+                                   unsigned elems) const;
+
+    /**
+     * The lookup sequence of a gather/scatter: one entry per
+     * element, duplicates preserved — per-element translation is
+     * what makes a random gather expensive.
+     */
+    std::vector<Addr>
+    indexedPages(const std::vector<Addr> &elem_addrs) const;
+
+    /**
+     * Perform the lookups of one stream, filling on miss, and
+     * return the stall cycles its hardware walks cost. @p indexed
+     * routes miss counts into the indexed counters.
+     */
+    unsigned translate(const std::vector<Addr> &pages, bool indexed);
+
+    /** Would any lookup of @p pages miss? No state/stat change. */
+    bool wouldMiss(const std::vector<Addr> &pages) const;
+
+    /**
+     * Software refill at trap time: install every page of @p pages
+     * that is absent, counting each installation as a miss (indexed
+     * or strided per @p indexed) but charging no stall cycles.
+     * Returns the number installed.
+     */
+    unsigned install(const std::vector<Addr> &pages, bool indexed);
+
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+    uint64_t indexedMisses() const { return indexedMisses_; }
+    uint64_t missCycles() const { return missCycles_; }
+
+  private:
+    struct Entry
+    {
+        Addr page = 0;
+        bool valid = false;
+        uint64_t lastUse = 0;
+    };
+
+    /** One set-associative translation array. */
+    struct Level
+    {
+        std::vector<Entry> ways;
+        unsigned sets = 0;
+        unsigned assoc = 0;
+
+        void init(unsigned entries, unsigned associativity);
+        bool empty() const { return ways.empty(); }
+        Entry *find(Addr page, uint64_t tick);
+        const Entry *peek(Addr page) const;
+        void insert(Addr page, uint64_t tick);
+    };
+
+    TlbConfig cfg_;
+    Level l1_;
+    Level l2_;
+    uint64_t tick_ = 0; ///< LRU timestamp source (not cycles)
+
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+    uint64_t indexedMisses_ = 0;
+    uint64_t missCycles_ = 0;
+};
+
+/**
+ * Wrap @p inner with the translation stage described by @p cfg: every
+ * reserve() first pays for its page lookups, then the stream proceeds
+ * into the wrapped model. Used by makeMemorySystem when
+ * MemConfig::tlb.enabled is set.
+ */
+std::unique_ptr<MemorySystem>
+wrapWithTlb(std::unique_ptr<MemorySystem> inner, const TlbConfig &cfg);
+
+} // namespace oova
+
+#endif // OOVA_MEM_TLB_HH

@@ -394,6 +394,10 @@ RefMachine::run()
     res.cacheHits = mem_->stats().cacheHits;
     res.cacheMisses = mem_->stats().cacheMisses;
     res.mshrStallCycles = mem_->stats().mshrStallCycles;
+    res.tlbHits = mem_->stats().tlbHits;
+    res.tlbMisses = mem_->stats().tlbMisses;
+    res.tlbIndexedMisses = mem_->stats().tlbIndexedMisses;
+    res.tlbMissCycles = mem_->stats().tlbMissCycles;
     res.stallCycles = stallCycles_;
     res.stateCycles = UnitStateBreakdown::compute(
         fu2Rec_, fu1Rec_, mem_->busy(), endCycle_);

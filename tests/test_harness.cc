@@ -248,7 +248,7 @@ TEST(Speedup, ZeroCyclesIsNaNNotZero)
 TEST(FigureRegistry, AllFiguresRegisteredAndFindable)
 {
     const auto &registry = figureRegistry();
-    EXPECT_EQ(registry.size(), 20u);
+    EXPECT_EQ(registry.size(), 21u);
     EXPECT_NE(findFigure("fig5"), nullptr);
     EXPECT_NE(findFigure("fig5_speedup"), nullptr);
     EXPECT_EQ(findFigure("fig5"), findFigure("fig5_speedup"));
@@ -257,6 +257,8 @@ TEST(FigureRegistry, AllFiguresRegisteredAndFindable)
     EXPECT_EQ(findFigure("memlat"), findFigure("mem_latbanks"));
     EXPECT_EQ(findFigure("memunits"), findFigure("mem_units"));
     EXPECT_EQ(findFigure("memgather"), findFigure("mem_gather"));
+    EXPECT_EQ(findFigure("memtlb"), findFigure("mem_tlb"));
+    EXPECT_NE(findFigure("memtlb"), nullptr);
     EXPECT_EQ(findFigure("nope"), nullptr);
 }
 
@@ -307,12 +309,24 @@ TEST(FigureFlags, RejectsMalformedThreads)
 
 TEST(FigureFlags, RejectsMalformedScale)
 {
+    // Mirrors the full-string envTraceScale() validation: the value
+    // must parse in its entirety as a positive finite number, so a
+    // typo can never silently run a sweep at the wrong scale.
     FigureOptions opts;
     EXPECT_EQ(parseAll({"--scale", "-2"}, opts), -1);
     EXPECT_EQ(parseAll({"--scale", "0"}, opts), -1);
     EXPECT_EQ(parseAll({"--scale", "abc"}, opts), -1);
     EXPECT_EQ(parseAll({"--scale", "nan"}, opts), -1);
+    EXPECT_EQ(parseAll({"--scale", "inf"}, opts), -1);
+    EXPECT_EQ(parseAll({"--scale", "1e999"}, opts), -1)
+        << "overflow to infinity is rejected, not accepted";
+    EXPECT_EQ(parseAll({"--scale", "0.5x"}, opts), -1)
+        << "trailing garbage is rejected, not truncated";
+    EXPECT_EQ(parseAll({"--scale", ""}, opts), -1);
     EXPECT_EQ(parseAll({"--scale"}, opts), -1);
+    // And the smallest legal values still work.
+    EXPECT_EQ(parseAll({"--scale", "1e-3"}, opts), 1);
+    EXPECT_EQ(opts.scale, 1e-3);
 }
 
 TEST(FigureFlags, UnknownFlagIsNotConsumed)

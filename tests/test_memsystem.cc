@@ -544,6 +544,88 @@ TEST(MemConfig, UnitCountAndPolicyRoundTripThroughLabels)
     EXPECT_EQ(simulateRef(t, ref).machine, "REF/mb4p1x2s");
 }
 
+TEST(MemUnitRange, OddUnitCountsUnderSplitFavorLoads)
+{
+    // Split gives loads the first ceil(N/2) units and stores the
+    // rest: with an odd count the extra unit goes to loads, the two
+    // ranges never overlap, and together they cover every unit.
+    auto ranges = [](unsigned units) {
+        MemConfig cfg;
+        cfg.memUnits = units;
+        cfg.lsPolicy = LsPolicy::Split;
+        return std::pair{memUnitRange(cfg, MemOp::Load),
+                         memUnitRange(cfg, MemOp::Store)};
+    };
+    {
+        auto [ld, st] = ranges(3);
+        EXPECT_EQ(ld, (std::pair<unsigned, unsigned>{0, 2}));
+        EXPECT_EQ(st, (std::pair<unsigned, unsigned>{2, 3}));
+    }
+    {
+        auto [ld, st] = ranges(5);
+        EXPECT_EQ(ld, (std::pair<unsigned, unsigned>{0, 3}));
+        EXPECT_EQ(st, (std::pair<unsigned, unsigned>{3, 5}));
+    }
+    {
+        auto [ld, st] = ranges(7);
+        EXPECT_EQ(ld.second, st.first) << "no gap, no overlap";
+        EXPECT_EQ(st.second, 7u) << "every unit covered";
+        EXPECT_GT(ld.second - ld.first, st.second - st.first)
+            << "loads take the extra unit";
+    }
+    {
+        // A single unit cannot be split: both directions share it.
+        auto [ld, st] = ranges(1);
+        EXPECT_EQ(ld, (std::pair<unsigned, unsigned>{0, 1}));
+        EXPECT_EQ(st, (std::pair<unsigned, unsigned>{0, 1}));
+    }
+}
+
+TEST(MemUnitRange, OddSplitStoresGetTheirOwnUnitInTheModel)
+{
+    // Three split units end to end: two load streams overlap on the
+    // two load units while a store lands on the dedicated third.
+    // Stride 32 over 8 banks with a 1-cycle bank busy time puts each
+    // word-offset base on its own disjoint {b, b+4} bank pair, so
+    // only unit assignment decides the timing.
+    MemConfig cfg = makeMultiUnitMem(8, 3, LsPolicy::Split, 1, 1);
+    auto mem = makeMemorySystem(cfg, 50);
+    MemAccess a = mem->reserve(0, 0x1000, 32, 16, MemOp::Load);
+    MemAccess b = mem->reserve(0, 0x1008, 32, 16, MemOp::Load);
+    EXPECT_EQ(a.start, 0u);
+    EXPECT_EQ(b.start, 0u) << "two load units";
+    MemAccess c = mem->reserve(0, 0x1018, 32, 16, MemOp::Load);
+    EXPECT_GE(c.start, std::min(a.end, b.end))
+        << "third load waits; the store unit is not eligible";
+    MemAccess s = mem->reserve(0, 0x1010, 32, 16, MemOp::Store);
+    EXPECT_EQ(s.start, 0u) << "the store unit was idle all along";
+    EXPECT_EQ(mem->stats().bankConflicts, 0u);
+}
+
+TEST(MemConfig, CachedOverBankedLabels)
+{
+    // The cache label encodes size/ways/MSHRs, the backing's bank
+    // count, then the unit suffix — all three dimensions must
+    // round-trip for sweep tables to be self-describing.
+    MemConfig cfg = makeCachedMem(16 * 1024, 2, MemModel::Banked);
+    EXPECT_EQ(cfg.label(), "/c16k4w2mb8");
+    cfg.banks = 16;
+    EXPECT_EQ(cfg.label(), "/c16k4w2mb16");
+    cfg.associativity = 8;
+    EXPECT_EQ(cfg.label(), "/c16k8w2mb16");
+    cfg.memUnits = 2;
+    cfg.lsPolicy = LsPolicy::Split;
+    EXPECT_EQ(cfg.label(), "/c16k8w2mb16x2s");
+    // The banked suffix only appears for a banked backing.
+    cfg.backing = MemModel::FlatBus;
+    EXPECT_EQ(cfg.label(), "/c16k8w2mx2s");
+
+    OooConfig ooo;
+    ooo.mem = makeCachedMem(64 * 1024, 4, MemModel::Banked);
+    ooo.mem.banks = 4;
+    EXPECT_EQ(ooo.name(), "OOOVA-16/16r/early/c64k4w4mb4");
+}
+
 TEST(MemSystemSim, TwoUnitsSpeedUpDualStreamPrograms)
 {
     // Whole-simulator version of the memunits figure's headline: a
