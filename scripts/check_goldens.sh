@@ -32,7 +32,13 @@ fi
 # captured at.
 export OOVA_SCALE=0.25
 
-figures="$("$BENCH" --list | awk '{print $1}' | grep -v '^simspeed$')"
+# pipefail is inherited by the substitution's subshell, so a --list
+# that dies mid-pipe fails here instead of yielding a silently
+# truncated figure set (which would misreport stale/missing goldens).
+figures="$("$BENCH" --list | awk '{print $1}' | grep -v '^simspeed$')" || {
+    echo "check_goldens: '$BENCH --list' failed" >&2
+    exit 2
+}
 
 # An empty figure list means --list itself failed; a gate that
 # "passes" over nothing is worse than one that fails.

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * A FIFO over contiguous storage for simulator hot paths.
+ *
+ * std::deque's segmented representation makes size()/front()/pop a
+ * multi-load affair and costs one allocation per couple of entries;
+ * the simulator's queues (ROB, fetch buffer, pipe FIFO, rename free
+ * lists) are small, bounded, and hammered every simulated cycle.
+ * SlidingQueue keeps elements in one vector and pops by advancing a
+ * head index, compacting the dead prefix once it dominates the
+ * buffer, so every operation is O(1) amortized on flat memory and
+ * iteration order is exactly insertion (FIFO) order.
+ */
+
+#ifndef OOVA_COMMON_SLIDINGQUEUE_HH
+#define OOVA_COMMON_SLIDINGQUEUE_HH
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace oova
+{
+
+template <typename T>
+class SlidingQueue
+{
+  public:
+    bool empty() const { return head_ == buf_.size(); }
+    size_t size() const { return buf_.size() - head_; }
+
+    T &front() { return buf_[head_]; }
+    const T &front() const { return buf_[head_]; }
+    T &back() { return buf_.back(); }
+    const T &back() const { return buf_.back(); }
+
+    void push_back(const T &v) { buf_.push_back(v); }
+    void push_back(T &&v) { buf_.push_back(std::move(v)); }
+
+    void
+    pop_front()
+    {
+        ++head_;
+        // Compact once the dead prefix dominates: amortized O(1)
+        // per pop, and keeps the footprint proportional to the live
+        // element count.
+        if (head_ >= 64 && head_ * 2 >= buf_.size()) {
+            buf_.erase(buf_.begin(),
+                       buf_.begin() + static_cast<long>(head_));
+            head_ = 0;
+        }
+    }
+
+    void
+    clear()
+    {
+        buf_.clear();
+        head_ = 0;
+    }
+
+    using iterator = typename std::vector<T>::iterator;
+    using const_iterator = typename std::vector<T>::const_iterator;
+
+    iterator begin()
+    {
+        return buf_.begin() + static_cast<long>(head_);
+    }
+    iterator end() { return buf_.end(); }
+    const_iterator begin() const
+    {
+        return buf_.begin() + static_cast<long>(head_);
+    }
+    const_iterator end() const { return buf_.end(); }
+
+    auto rbegin() { return buf_.rbegin(); }
+    auto rend() { return buf_.rend() - static_cast<long>(head_); }
+
+    /** Erase the element at @p it (middle erase, preserves order). */
+    iterator erase(iterator it) { return buf_.erase(it); }
+
+  private:
+    std::vector<T> buf_;
+    size_t head_ = 0;
+};
+
+} // namespace oova
+
+#endif // OOVA_COMMON_SLIDINGQUEUE_HH

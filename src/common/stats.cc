@@ -7,21 +7,18 @@
 namespace oova
 {
 
-void
-IntervalRecorder::add(Cycle start, Cycle end)
-{
-    sim_assert(end >= start, "interval end before start");
-    if (end == start)
-        return; // zero-length: nothing was occupied
-    intervals_.emplace_back(start, end);
-    lastEnd_ = std::max(lastEnd_, end);
-}
-
 uint64_t
 IntervalRecorder::busyCycles() const
 {
     if (intervals_.empty())
         return 0;
+    if (sortedDisjoint_) {
+        // Non-overlapping intervals: merging is a plain sum.
+        uint64_t busy = 0;
+        for (const auto &[s, e] : intervals_)
+            busy += e - s;
+        return busy;
+    }
     auto sorted = intervals_;
     std::sort(sorted.begin(), sorted.end());
     uint64_t busy = 0;
@@ -45,7 +42,85 @@ IntervalRecorder::clear()
 {
     intervals_.clear();
     lastEnd_ = 0;
+    sortedDisjoint_ = true;
 }
+
+namespace
+{
+
+/**
+ * Sort-free sweep for the common case: each unit's intervals are
+ * already in order and non-overlapping (a serially-reused unit), so
+ * the three lists merge with cursors instead of building and sorting
+ * one big event vector. Produces exactly the sweep-line's output.
+ */
+std::array<uint64_t, UnitStateBreakdown::kNumStates>
+computeSortedDisjoint(const IntervalRecorder &fu2,
+                      const IntervalRecorder &fu1,
+                      const IntervalRecorder &mem,
+                      Cycle total_cycles)
+{
+    // Index by state bit: 2 = FU2, 1 = FU1, 0 = MEM.
+    const std::vector<std::pair<Cycle, Cycle>> *ivs[3] = {
+        &mem.intervals(), &fu1.intervals(), &fu2.intervals()};
+    size_t idx[3] = {0, 0, 0};
+    bool busy[3] = {false, false, false};
+
+    auto clampEnd = [&](const std::pair<Cycle, Cycle> &iv) {
+        return std::min<Cycle>(iv.second, total_cycles);
+    };
+    // Skip intervals the clamp makes empty (entirely past the end).
+    auto skipDead = [&](int u) {
+        const auto &v = *ivs[u];
+        while (idx[u] < v.size() &&
+               v[idx[u]].first >= clampEnd(v[idx[u]])) {
+            ++idx[u];
+        }
+    };
+    for (int u = 0; u < 3; ++u)
+        skipDead(u);
+
+    std::array<uint64_t, UnitStateBreakdown::kNumStates> out{};
+    Cycle prev = 0;
+    while (true) {
+        Cycle next = kNoCycle;
+        for (int u = 0; u < 3; ++u) {
+            const auto &v = *ivs[u];
+            if (idx[u] >= v.size())
+                continue;
+            Cycle b =
+                busy[u] ? clampEnd(v[idx[u]]) : v[idx[u]].first;
+            next = std::min(next, b);
+        }
+        if (next == kNoCycle)
+            break;
+        if (next > prev) {
+            int state = (busy[2] ? 4 : 0) | (busy[1] ? 2 : 0) |
+                        (busy[0] ? 1 : 0);
+            out[static_cast<size_t>(state)] += next - prev;
+            prev = next;
+        }
+        for (int u = 0; u < 3; ++u) {
+            const auto &v = *ivs[u];
+            if (busy[u] && idx[u] < v.size() &&
+                clampEnd(v[idx[u]]) == next) {
+                busy[u] = false;
+                ++idx[u];
+                skipDead(u);
+            }
+            // Back-to-back intervals re-enter at the same boundary.
+            if (!busy[u] && idx[u] < v.size() &&
+                v[idx[u]].first == next) {
+                busy[u] = true;
+            }
+        }
+    }
+    if (total_cycles > prev)
+        out[0] += total_cycles - prev; // trailing all-idle time
+    return out;
+}
+
+} // namespace
 
 std::array<uint64_t, UnitStateBreakdown::kNumStates>
 UnitStateBreakdown::compute(const IntervalRecorder &fu2,
@@ -53,6 +128,11 @@ UnitStateBreakdown::compute(const IntervalRecorder &fu2,
                             const IntervalRecorder &mem,
                             Cycle total_cycles)
 {
+    if (fu2.sortedDisjoint() && fu1.sortedDisjoint() &&
+        mem.sortedDisjoint()) {
+        return computeSortedDisjoint(fu2, fu1, mem, total_cycles);
+    }
+
     // Sweep-line over (cycle, unit, delta) events. A unit counts as
     // busy while its overlap depth is positive.
     struct Event

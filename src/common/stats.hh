@@ -8,12 +8,14 @@
 #ifndef OOVA_COMMON_STATS_HH
 #define OOVA_COMMON_STATS_HH
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/logging.hh"
 #include "common/types.hh"
 
 namespace oova
@@ -27,8 +29,22 @@ namespace oova
 class IntervalRecorder
 {
   public:
-    /** Record that the unit was busy during [start, end). */
-    void add(Cycle start, Cycle end);
+    /**
+     * Record that the unit was busy during [start, end). Inline:
+     * every simulated issue records an interval, so this must be a
+     * bounds check and a push_back.
+     */
+    void
+    add(Cycle start, Cycle end)
+    {
+        sim_assert(end >= start, "interval end before start");
+        if (end == start)
+            return; // zero-length: nothing was occupied
+        if (start < lastEnd_)
+            sortedDisjoint_ = false;
+        intervals_.emplace_back(start, end);
+        lastEnd_ = std::max(lastEnd_, end);
+    }
 
     /** Total busy cycles with overlapping intervals merged. */
     uint64_t busyCycles() const;
@@ -46,11 +62,19 @@ class IntervalRecorder
     /** Number of recorded intervals. */
     size_t count() const { return intervals_.size(); }
 
+    /**
+     * True while the recorded intervals are non-overlapping and in
+     * nondecreasing order — the natural product of a serially-reused
+     * unit — enabling the sort-free query fast paths.
+     */
+    bool sortedDisjoint() const { return sortedDisjoint_; }
+
     void clear();
 
   private:
     std::vector<std::pair<Cycle, Cycle>> intervals_;
     Cycle lastEnd_ = 0;
+    bool sortedDisjoint_ = true;
 };
 
 /**

@@ -1,11 +1,10 @@
 #include "core/ooosim.hh"
 
 #include <algorithm>
-#include <deque>
-#include <unordered_set>
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/slidingqueue.hh"
 #include "core/btb.hh"
 #include "core/renamer.hh"
 #include "mem/memsystem.hh"
@@ -57,6 +56,19 @@ struct RobEntry
     bool faultArmed = false;       ///< will page-fault at issue
     bool faulted = false;          ///< fault pending trap at head
     bool wasMispredicted = false;  ///< fetch stalled on this branch
+    bool inRob = false;            ///< between dispatch and commit
+
+    /**
+     * Wakeup bookkeeping (no timing semantics): issue scans skip
+     * this entry until @p recheckAt — a proven lower bound on the
+     * cycle its conditions could next change. kNoCycle means the
+     * entry is parked on a producer register's waiter list and is
+     * re-examined when that register's ready times are written.
+     */
+    Cycle recheckAt = 0;
+    uint32_t slabIdx = 0;          ///< own index in the slab
+    int32_t waitNext = -1;         ///< next entry in the waiter list
+    int8_t queueId = -1;           ///< issue queue (0=A 1=S 2=V)
 
     /**
      * Software TLB refill pending trap delivery: the pages whose
@@ -68,6 +80,48 @@ struct RobEntry
     bool tlbRefillPending = false;
     bool tlbRefillIndexed = false;
     std::vector<Addr> tlbRefillPages;
+};
+
+/**
+ * Stable storage for in-flight records. Pointer-stable like the
+ * std::deque it replaces, but chunked at a size that costs a handful
+ * of allocations per simulation instead of one malloc per two
+ * entries; never shrinks, so pointers in the wait sets survive early
+ * commit.
+ */
+class EntrySlab
+{
+  public:
+    static constexpr size_t kChunk = 256;
+
+    RobEntry &
+    operator[](size_t i)
+    {
+        return chunks_[i / kChunk][i % kChunk];
+    }
+
+    const RobEntry &
+    operator[](size_t i) const
+    {
+        return chunks_[i / kChunk][i % kChunk];
+    }
+
+    size_t size() const { return size_; }
+
+    /** Hand out the next (default-constructed) entry. */
+    RobEntry *
+    alloc()
+    {
+        if (size_ == chunks_.size() * kChunk)
+            chunks_.push_back(std::make_unique<RobEntry[]>(kChunk));
+        RobEntry *e = &chunks_[size_ / kChunk][size_ % kChunk];
+        ++size_;
+        return e;
+    }
+
+  private:
+    std::vector<std::unique_ptr<RobEntry[]>> chunks_;
+    size_t size_ = 0;
 };
 
 class OooMachine
@@ -92,7 +146,8 @@ class OooMachine
     void resolveEliminated();
     void cleanupWaitSet();
     bool memIssueStep();
-    bool issueQueue(std::vector<RobEntry *> &queue, bool vector_queue);
+    bool issueQueue(std::vector<RobEntry *> &queue, bool vector_queue,
+                    int qid);
     bool pipeAdvance();
     bool dispatchStep();
     bool fetchStep();
@@ -101,9 +156,12 @@ class OooMachine
     bool usesVectorRegs(const DynInst &di) const;
     bool goesToMemPipe(const DynInst &di) const;
     int routeQueue(const DynInst &di) const; // 0=A 1=S 2=V 3=pipe
-    bool scalarSrcsReady(const RobEntry &e) const;
-    bool vectorSrcReady(int phys) const;
-    bool entryOperandsReady(const RobEntry &e) const;
+    [[maybe_unused]] bool scalarSrcsReady(const RobEntry &e) const;
+    [[maybe_unused]] bool vectorSrcReady(int phys) const;
+    [[maybe_unused]] bool
+    entryOperandsReady(const RobEntry &e) const;
+    bool operandsReadyOrSchedule(RobEntry *e, bool with_vector);
+    bool operandsScheduleImpl(RobEntry *e, bool with_vector);
     void occupyVectorReadPorts(const RobEntry &e, Cycle until);
     bool memConflicts(const RobEntry &e) const;
     bool depStage(RobEntry *e);
@@ -113,7 +171,191 @@ class OooMachine
     void executeScalar(RobEntry *e);
     void takeTrap();
     void finish(Cycle c) { endCycle_ = std::max(endCycle_, c); }
-    Cycle nextEventAfter() const;
+    [[maybe_unused]] Cycle nextEventAfterScan() const;
+
+    // ---- event calendar & wakeup network ----
+    // The run loop skips idle stretches by jumping to the next cycle
+    // anything can change. That time used to be recomputed with a
+    // full rescan of the ROB and register files
+    // (nextEventAfterScan(), kept as the debug cross-check and the
+    // ground truth for the deadlock diagnostics); it is now
+    // maintained incrementally: every site that writes a future time
+    // pushes it into a min-heap, and popped candidates are validated
+    // against live state so a stale value can never surface a cycle
+    // the scan would not have.
+    enum EvKind : uint8_t
+    {
+        EvFu1,
+        EvFu2,
+        EvMemAny,
+        EvMemLoad,
+        EvMemStore,
+        EvFetch,
+        EvComplete, ///< id = slab index
+        EvMemDone,  ///< id = slab index
+        EvRegChain, ///< id = phys reg, cls = class
+        EvRegFull,
+        EvRegPort,
+    };
+
+    struct Event
+    {
+        Cycle t;
+        uint32_t id;
+        uint8_t kind;
+        uint8_t cls;
+    };
+
+    struct EventAfter
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            return a.t > b.t;
+        }
+    };
+
+    void
+    pushEvent(Cycle t, EvKind kind, uint32_t id = 0,
+              RegClass cls = RegClass::None)
+    {
+        if (t == kNoCycle || t <= now_)
+            return;
+        // Stale events normally drain at idle-cycle queries; a
+        // progress-heavy stretch never queries, so bound the heap by
+        // compacting dead entries once it outgrows twice its size
+        // after the last compaction (amortized O(1) per push).
+        // Dropping a dead event is always safe: liveness only comes
+        // back through a fresh push (every value overwrite and every
+        // refcount rise from zero re-announces).
+        if (events_.size() >= eventCompactAt_) {
+            std::erase_if(events_, [this](const Event &ev) {
+                return ev.t <= now_ || !eventLive(ev);
+            });
+            std::make_heap(events_.begin(), events_.end(),
+                           EventAfter{});
+            eventCompactAt_ = std::max<size_t>(
+                kEventCompactMin, 2 * events_.size());
+        }
+        events_.push_back(
+            {t, id, static_cast<uint8_t>(kind),
+             static_cast<uint8_t>(cls)});
+        std::push_heap(events_.begin(), events_.end(), EventAfter{});
+    }
+
+    bool eventLive(const Event &ev) const;
+    Cycle nextEventFromCalendar();
+
+    // Subscriptions mirror exactly the set of registers
+    // nextEventAfterScan() would look at: a register's ready-time
+    // events count only while some live ROB entry (or unresolved
+    // eliminated load) references it. A time announced while the
+    // register was referenced is still in the heap (pops only drop
+    // an event whose reference count was zero or whose value went
+    // stale — and every overwrite re-announces), so subscribing only
+    // re-announces when the relevant count rises from zero.
+    void
+    subscribeSrc(RegClass cls, int phys)
+    {
+        PhysReg &p = renamer_.file(cls).reg(phys);
+        bool chain_unref = p.robSrcRefs + p.robDstRefs == 0;
+        bool full_unref = chain_unref && p.elimRefs == 0;
+        bool port_unref = p.robSrcRefs == 0;
+        ++p.robSrcRefs;
+        if (chain_unref)
+            pushEvent(p.chainReadyAt, EvRegChain,
+                      static_cast<uint32_t>(phys), cls);
+        if (full_unref)
+            pushEvent(p.fullReadyAt, EvRegFull,
+                      static_cast<uint32_t>(phys), cls);
+        if (port_unref)
+            pushEvent(p.readPortFreeAt, EvRegPort,
+                      static_cast<uint32_t>(phys), cls);
+    }
+
+    void
+    subscribeDst(RegClass cls, int phys)
+    {
+        PhysReg &p = renamer_.file(cls).reg(phys);
+        bool chain_unref = p.robSrcRefs + p.robDstRefs == 0;
+        bool full_unref = chain_unref && p.elimRefs == 0;
+        ++p.robDstRefs;
+        if (chain_unref)
+            pushEvent(p.chainReadyAt, EvRegChain,
+                      static_cast<uint32_t>(phys), cls);
+        if (full_unref)
+            pushEvent(p.fullReadyAt, EvRegFull,
+                      static_cast<uint32_t>(phys), cls);
+    }
+
+    void unsubscribeEntry(RobEntry &e);
+
+    /** Park @p e until @p phys's ready times are next written. */
+    void
+    parkOn(RobEntry *e, RegClass cls, int phys)
+    {
+        PhysReg &p = renamer_.file(cls).reg(phys);
+        e->waitNext = p.waiterHead;
+        p.waiterHead = static_cast<int32_t>(e->slabIdx);
+        e->recheckAt = kNoCycle;
+    }
+
+    void
+    wakeWaiters(PhysReg &p)
+    {
+        for (int32_t i = p.waiterHead; i >= 0;) {
+            RobEntry &w = slab_[static_cast<size_t>(i)];
+            i = w.waitNext;
+            w.waitNext = -1;
+            if (w.eliminated) {
+                elimWaitDirty_ = true;
+            } else {
+                w.recheckAt = 0;
+                if (w.queueId >= 0)
+                    queueCheckAt_[static_cast<size_t>(w.queueId)] =
+                        0;
+            }
+        }
+        p.waiterHead = -1;
+    }
+
+    /**
+     * Producer write of @p phys's ready times: announce and wake.
+     * chainReadyAt and fullReadyAt are always written together, so
+     * when they are equal (every scalar write) one EvRegFull event
+     * covers both — its validation refcount is a superset of the
+     * chain event's, and both values go stale only together.
+     */
+    void
+    publishRegWrite(RegClass cls, int phys)
+    {
+        PhysReg &p = renamer_.file(cls).reg(phys);
+        if (p.chainReadyAt != p.fullReadyAt)
+            pushEvent(p.chainReadyAt, EvRegChain,
+                      static_cast<uint32_t>(phys), cls);
+        pushEvent(p.fullReadyAt, EvRegFull,
+                  static_cast<uint32_t>(phys), cls);
+        wakeWaiters(p);
+    }
+
+    /**
+     * Refresh the cached memory-unit free times (they change only
+     * inside reserve()) and announce them. freeAt() is the minimum
+     * over all units, so when a per-direction time coincides with it
+     * the EvMemAny event already covers that cycle.
+     */
+    void
+    pushMemFreeEvents()
+    {
+        memFreeCache_ = mem_->freeAt();
+        memFreeLoadCache_ = mem_->freeAt(MemOp::Load);
+        memFreeStoreCache_ = mem_->freeAt(MemOp::Store);
+        pushEvent(memFreeCache_, EvMemAny);
+        if (memFreeLoadCache_ != memFreeCache_)
+            pushEvent(memFreeLoadCache_, EvMemLoad);
+        if (memFreeStoreCache_ != memFreeCache_)
+            pushEvent(memFreeStoreCache_, EvMemStore);
+    }
 
     PhysReg &
     vregOf(int phys)
@@ -131,24 +373,66 @@ class OooMachine
     ReturnStack ras_;
     std::unique_ptr<MemorySystem> mem_;
 
-    /** Stable storage for in-flight records; never shrinks, so
-     *  pointers in the wait set survive early commit. */
-    std::deque<RobEntry> slab_;
+    /** Stable storage for in-flight records. */
+    EntrySlab slab_;
 
-    std::deque<RobEntry *> rob_;
+    SlidingQueue<RobEntry *> rob_;
     std::vector<RobEntry *> aQueue_, sQueue_, vQueue_;
-    std::deque<RobEntry *> pipeFifo_;
+    SlidingQueue<RobEntry *> pipeFifo_;
     std::array<RobEntry *, 3> pipeStage_; // 0=Issue/Rf 1=Range 2=Dep
     std::vector<RobEntry *> waitSet_;     // disambiguated mem ops
     std::vector<RobEntry *> elimWait_;    // eliminated, unresolved
     unsigned memSlotsUsed_ = 0;
 
-    std::deque<std::pair<const DynInst *, SeqNum>> fetchBuffer_;
+    std::vector<Event> events_;  ///< pending-event min-heap
+    static constexpr size_t kEventCompactMin = 4096;
+    /** Heap size that triggers the next dead-event compaction. */
+    size_t eventCompactAt_ = kEventCompactMin;
+    /**
+     * Per-queue scan gate: the minimum next-possible-progress cycle
+     * over the queue's entries as of its last fruitless scan. While
+     * now_ is below it, the whole queue provably has nothing to
+     * issue. Reset to 0 on insertion, wakeup and issue. Index 3 is
+     * the memory wait set (entries blocked on non-time conditions —
+     * ROB head, conflicts — hold it at 0).
+     */
+    std::array<Cycle, 4> queueCheckAt_{{0, 0, 0, 0}};
+    /**
+     * Mirrors of mem_->freeAt() / freeAt(Load) / freeAt(Store),
+     * refreshed after every reserve (the only mutation point), so
+     * the per-cycle issue gate and event validation skip the
+     * virtual calls.
+     */
+    Cycle memFreeCache_ = 0;
+    Cycle memFreeLoadCache_ = 0;
+    Cycle memFreeStoreCache_ = 0;
+    /** Earliest memDoneAt still awaiting waitSet_ cleanup. */
+    Cycle waitCleanupAt_ = kNoCycle;
+    /** An elimWait_ entry may have become resolvable. */
+    bool elimWaitDirty_ = false;
+    /** Reusable gather/scatter element-address buffer. */
+    std::vector<Addr> elemAddrScratch_;
+    /** Reusable TLB page-sequence buffer. */
+    std::vector<Addr> pageScratch_;
+
+    /** One fetched, not-yet-dispatched instruction. */
+    struct Fetched
+    {
+        const DynInst *di;
+        SeqNum seq;
+        /** Fetch predicted this branch wrong (consumed at rename). */
+        bool mispredicted;
+    };
+    SlidingQueue<Fetched> fetchBuffer_;
     size_t fetchIndex_ = 0;
+    // Memoized routing decision for the current dispatch head.
+    SeqNum routedSeq_ = kNoSeq;
+    bool routedToPipe_ = false;
+    bool routedRenameHere_ = false;
+    int routedQ_ = 0;
     Cycle fetchStalledUntil_ = 0;  ///< kNoCycle = until resolve
     SeqNum redirectSeq_ = kNoSeq;  ///< branch fetch is stalled on
     SeqNum lastTlbTrapSeq_ = kNoSeq; ///< last TLB software-refill trap
-    std::unordered_set<SeqNum> mispredictedSeqs_;
 
     Cycle fu1Free_ = 0, fu2Free_ = 0;
     IntervalRecorder fu1Rec_, fu2Rec_;
@@ -255,6 +539,93 @@ OooMachine::entryOperandsReady(const RobEntry &e) const
     return true;
 }
 
+/**
+ * entryOperandsReady() / scalarSrcsReady(), plus scheduling on
+ * failure: computes when the entry could next possibly be ready and
+ * either sets recheckAt to that lower bound (all blocking times
+ * known — they can only move later) or parks the entry on the first
+ * producer register whose ready time is still unwritten. Issue scans
+ * skip the entry until then, which is behavior-preserving because a
+ * skipped entry would have failed the full re-evaluation anyway.
+ */
+bool
+OooMachine::operandsReadyOrSchedule(RobEntry *e, bool with_vector)
+{
+    bool ready = operandsScheduleImpl(e, with_vector);
+#ifndef NDEBUG
+    // The scheduling evaluator must agree with the original
+    // predicates it replaces on every call (the reference check is
+    // read-only, so running it after the impl is safe).
+    bool ref = with_vector ? entryOperandsReady(*e)
+                           : scalarSrcsReady(*e);
+    sim_assert(ready == ref,
+               "operand scheduler (%d) diverges from reference "
+               "predicate (%d) for %s",
+               (int)ready, (int)ref, e->di->toString().c_str());
+#endif
+    return ready;
+}
+
+bool
+OooMachine::operandsScheduleImpl(RobEntry *e, bool with_vector)
+{
+    Cycle bound = 0;
+    const DynInst &di = *e->di;
+    for (unsigned i = 0; i < di.numSrc; ++i) {
+        const RegId &r = di.src[i];
+        if (!r.valid())
+            continue;
+        if (r.cls != RegClass::V) {
+            const PhysReg &p =
+                renamer_.file(r.cls).reg(e->physSrc[i]);
+            if (p.fullReadyAt == kNoCycle) {
+                parkOn(e, r.cls, e->physSrc[i]);
+                return false;
+            }
+            bound = std::max(bound, p.fullReadyAt);
+            continue;
+        }
+        if (!with_vector)
+            continue;
+        const PhysReg &p =
+            renamer_.file(RegClass::V).reg(e->physSrc[i]);
+        bool is_index = di.isIndexedMem() &&
+                        !(di.op == Opcode::VScatter && i == 0);
+        bound = std::max(bound, p.readPortFreeAt);
+        if (is_index ||
+            (p.writerIsLoad && !cfg_.chainLoadsToFus)) {
+            if (p.fullReadyAt == kNoCycle) {
+                parkOn(e, RegClass::V, e->physSrc[i]);
+                return false;
+            }
+            bound = std::max(bound, p.fullReadyAt);
+        } else {
+            if (p.chainReadyAt == kNoCycle) {
+                parkOn(e, RegClass::V, e->physSrc[i]);
+                return false;
+            }
+            bound = std::max(bound, p.chainReadyAt);
+        }
+    }
+    if (bound <= now_)
+        return true;
+    e->recheckAt = bound;
+    return false;
+}
+
+void
+OooMachine::unsubscribeEntry(RobEntry &e)
+{
+    for (unsigned i = 0; i < e.di->numSrc; ++i) {
+        const RegId &r = e.di->src[i];
+        if (!r.valid() || e.physSrc[i] < 0)
+            continue;
+        --renamer_.file(r.cls).reg(e.physSrc[i]).robSrcRefs;
+    }
+    if (e.physDst >= 0 && e.dstCls != RegClass::None)
+        --renamer_.file(e.dstCls).reg(e.physDst).robDstRefs;
+}
+
 void
 OooMachine::occupyVectorReadPorts(const RobEntry &e, Cycle until)
 {
@@ -262,7 +633,12 @@ OooMachine::occupyVectorReadPorts(const RobEntry &e, Cycle until)
         if (e.di->src[i].cls != RegClass::V)
             continue;
         PhysReg &p = renamer_.file(RegClass::V).reg(e.physSrc[i]);
-        p.readPortFreeAt = std::max(p.readPortFreeAt, until);
+        if (until > p.readPortFreeAt) {
+            p.readPortFreeAt = until;
+            pushEvent(until, EvRegPort,
+                      static_cast<uint32_t>(e.physSrc[i]),
+                      RegClass::V);
+        }
     }
 }
 
@@ -295,6 +671,8 @@ OooMachine::commitStep()
         // register's ready times are still established, and it keeps
         // its copy-source claim until then.
         e.retired = true;
+        e.inRob = false;
+        unsubscribeEntry(e);
         finish(now_ + 1);
         if (e.completeAt != kNoCycle)
             finish(e.completeAt);
@@ -360,11 +738,17 @@ OooMachine::depStage(RobEntry *e)
     bool vle = cfg_.loadElim == LoadElimMode::SleVle;
     bool sle = cfg_.loadElim != LoadElimMode::None;
 
-    // In SLE+VLE, vector sources are renamed here, in order.
+    // In SLE+VLE, vector sources are renamed here, in order. The
+    // mapping is stable across retries of a stalled Dep stage (the
+    // single in-order vector rename point is this stage itself), so
+    // map and subscribe each source exactly once.
     if (vle) {
-        for (unsigned i = 0; i < di.numSrc; ++i)
-            if (di.src[i].cls == RegClass::V)
+        for (unsigned i = 0; i < di.numSrc; ++i) {
+            if (di.src[i].cls == RegClass::V && e->physSrc[i] < 0) {
                 e->physSrc[i] = renamer_.mapOf(di.src[i]);
+                subscribeSrc(RegClass::V, e->physSrc[i]);
+            }
+        }
     }
 
     if (di.isMem()) {
@@ -386,9 +770,14 @@ OooMachine::depStage(RobEntry *e)
             e->started = true;
             e->depCycle = now_;
             ++vElims_;
+            subscribeDst(RegClass::V, e->physDst);
             // Completion resolves once the matched register's value
             // is fully written.
             elimWait_.push_back(e);
+            if (vregOf(e->physDst).fullReadyAt != kNoCycle)
+                elimWaitDirty_ = true;
+            else
+                parkOn(e, RegClass::V, e->physDst);
             sim_assert(memSlotsUsed_ > 0, "mem slot underflow");
             --memSlotsUsed_;
             return true;
@@ -401,10 +790,16 @@ OooMachine::depStage(RobEntry *e)
             ++renameStalls_;
             return false; // stall the Dep stage this cycle
         }
+        // A Dep stage that stalled on a full V queue below retries
+        // here and renames again (seed behavior); the previous
+        // attempt's destination is no longer this entry's.
+        if (e->physDst >= 0 && e->dstCls != RegClass::None)
+            --renamer_.file(e->dstCls).reg(e->physDst).robDstRefs;
         auto ren = renamer_.renameDst(di.dst);
         e->physDst = ren.physDst;
         e->oldPhys = ren.oldPhys;
         e->dstCls = RegClass::V;
+        subscribeDst(RegClass::V, e->physDst);
     }
 
     // ---- scalar load elimination ----
@@ -427,6 +822,21 @@ OooMachine::depStage(RobEntry *e)
             e->holdsCopyClaim = true;
             f.reg(e->physDst).tag = tag;
             elimWait_.push_back(e);
+            // The copy source now backs an unresolved elimination:
+            // its full-ready time is a live event until resolution.
+            PhysReg &src = f.reg(match);
+            bool full_unref =
+                src.robSrcRefs + src.robDstRefs + src.elimRefs == 0;
+            ++src.elimRefs;
+            if (src.fullReadyAt != kNoCycle) {
+                if (full_unref)
+                    pushEvent(src.fullReadyAt, EvRegFull,
+                              static_cast<uint32_t>(match),
+                              di.dst.cls);
+                elimWaitDirty_ = true;
+            } else {
+                parkOn(e, di.dst.cls, match);
+            }
             sim_assert(memSlotsUsed_ > 0, "mem slot underflow");
             --memSlotsUsed_;
             return true;
@@ -451,7 +861,9 @@ OooMachine::depStage(RobEntry *e)
 
     if (di.isMem()) {
         e->depCycle = now_;
+        e->queueId = 3;
         waitSet_.push_back(e);
+        queueCheckAt_[3] = 0;
         return true;
     }
 
@@ -461,7 +873,9 @@ OooMachine::depStage(RobEntry *e)
         return false;
     }
     e->depCycle = now_;
+    e->queueId = 2;
     vQueue_.push_back(e);
+    queueCheckAt_[2] = 0;
     sim_assert(memSlotsUsed_ > 0, "mem slot underflow");
     --memSlotsUsed_;
     return true;
@@ -519,16 +933,29 @@ OooMachine::memConflicts(const RobEntry &e) const
 void
 OooMachine::cleanupWaitSet()
 {
+    // Event-driven: erase only when the earliest pending address
+    // phase has actually ended (waitCleanupAt_, maintained at issue).
+    // Entries past their memDoneAt are no-ops for memConflicts(), so
+    // deferring their removal to that exact point changes nothing.
+    if (waitSet_.empty() || now_ < waitCleanupAt_)
+        return;
     std::erase_if(waitSet_, [this](RobEntry *e) {
         return e->memIssued && e->memDoneAt <= now_;
     });
+    waitCleanupAt_ = kNoCycle;
+    for (const RobEntry *e : waitSet_)
+        if (e->memIssued)
+            waitCleanupAt_ = std::min(waitCleanupAt_, e->memDoneAt);
 }
 
 bool
 OooMachine::memIssueStep()
 {
-    if (mem_->freeAt() > now_)
+    if (waitSet_.empty() || memFreeCache_ > now_ ||
+        queueCheckAt_[3] > now_) {
         return false;
+    }
+    Cycle min_next = kNoCycle;
     for (RobEntry *e : waitSet_) {
         if (e->memIssued || e->faulted)
             continue;
@@ -536,31 +963,48 @@ OooMachine::memIssueStep()
         MemOp mop = di.isStore() ? MemOp::Store : MemOp::Load;
         // A unit eligible for this direction must be free (with a
         // single shared unit this repeats the check above).
-        if (mem_->freeAt(mop) > now_)
+        Cycle dir_free = mop == MemOp::Store ? memFreeStoreCache_
+                                             : memFreeLoadCache_;
+        if (dir_free > now_) {
+            min_next = std::min(min_next, dir_free);
             continue;
+        }
         // Late commit: stores update memory only at the ROB head.
         if (cfg_.commit == CommitMode::Late && di.isStore() &&
             (rob_.empty() || rob_.front()->seq != e->seq)) {
+            min_next = 0; // head advance is not a timed event
             continue;
         }
-        if (!entryOperandsReady(*e))
+        if (e->recheckAt > now_) {
+            min_next = std::min(min_next, e->recheckAt);
             continue;
-        if (memConflicts(*e))
+        }
+        if (!operandsReadyOrSchedule(e, true)) {
+            min_next = std::min(min_next, e->recheckAt);
             continue;
+        }
+        if (memConflicts(*e)) {
+            min_next = 0; // an older unissued access may clear anytime
+            continue;
+        }
 
         if (e->faultArmed) {
             // Page fault detected at translation; the trap is taken
             // when the instruction reaches the ROB head.
             e->faultArmed = false;
             e->faulted = true;
+            queueCheckAt_[3] = 0;
             return true;
         }
 
         // Gather/scatter element addresses, shared by the TLB
-        // detection below and the reservation itself.
-        std::vector<Addr> elem_addrs;
-        if (di.isIndexedMem())
-            elem_addrs = indexedElemAddrs(di);
+        // detection below and the reservation itself (reusable
+        // scratch: one stream issues at a time).
+        const std::vector<Addr> *elem_addrs = nullptr;
+        if (di.isIndexedMem()) {
+            indexedElemAddrs(di, elemAddrScratch_);
+            elem_addrs = &elemAddrScratch_;
+        }
 
         // Software-refilled TLB (precise traps only, hence late
         // commit): a stream whose translations are not all resident
@@ -580,16 +1024,17 @@ OooMachine::memIssueStep()
             if (Tlb *tlb = mem_->tlb();
                 tlb &&
                 tlb->config().refill == TlbRefill::SoftwareTrap) {
-                std::vector<Addr> pages =
-                    di.isIndexedMem()
-                        ? tlb->indexedPages(elem_addrs)
-                        : tlb->stridedPages(di.addr, di.strideBytes,
-                                            di.memElems());
-                if (tlb->wouldMiss(pages)) {
-                    e->tlbRefillPages = std::move(pages);
+                if (di.isIndexedMem())
+                    tlb->indexedPages(*elem_addrs, pageScratch_);
+                else
+                    tlb->stridedPages(di.addr, di.strideBytes,
+                                      di.memElems(), pageScratch_);
+                if (tlb->wouldMiss(pageScratch_)) {
+                    e->tlbRefillPages = pageScratch_;
                     e->tlbRefillIndexed = di.isIndexedMem();
                     e->tlbRefillPending = true;
                     e->faulted = true;
+                    queueCheckAt_[3] = 0;
                     return true;
                 }
             }
@@ -601,12 +1046,20 @@ OooMachine::memIssueStep()
         // reserve base + stride as before.
         MemAccess acc =
             di.isIndexedMem()
-                ? mem_->reserve(now_, elem_addrs, mop)
+                ? mem_->reserve(now_, *elem_addrs, mop)
                 : mem_->reserve(now_, di.addr, di.strideBytes,
                                 di.memElems(), mop);
         e->memIssued = true;
         e->started = true;
         e->memDoneAt = acc.end;
+        pushMemFreeEvents();
+        // With one memory unit the unit's free time IS this stream's
+        // address-phase end, and no reserve can supersede it before
+        // it arrives (the unit is busy until then), so the EvMemAny
+        // event just pushed covers memDoneAt.
+        if (cfg_.mem.memUnits > 1)
+            pushEvent(e->memDoneAt, EvMemDone, e->slabIdx);
+        waitCleanupAt_ = std::min(waitCleanupAt_, e->memDoneAt);
         occupyVectorReadPorts(*e, acc.end);
         sim_assert(memSlotsUsed_ > 0, "mem slot underflow");
         --memSlotsUsed_;
@@ -625,6 +1078,10 @@ OooMachine::memIssueStep()
                 d.fullReadyAt = ready;
                 e->completeAt = ready;
             }
+            // completeAt == the destination's fullReadyAt: the
+            // EvRegFull event just published covers it (the entry
+            // holds a dst reference while it is in the ROB).
+            publishRegWrite(di.dst.cls, e->physDst);
         } else {
             // Stores have no observed latency (section 2.2): once
             // issued, the address/data stream drains in the
@@ -633,11 +1090,15 @@ OooMachine::memIssueStep()
             // address phase still orders conflicting accesses via
             // memDoneAt.
             e->completeAt = acc.start + 1;
+            pushEvent(e->completeAt, EvComplete, e->slabIdx);
         }
         finish(e->completeAt);
         finish(e->memDoneAt);
+        // Rescan next cycle: entries after this one were skipped.
+        queueCheckAt_[3] = 0;
         return true;
     }
+    queueCheckAt_[3] = min_next;
     return false;
 }
 
@@ -659,9 +1120,11 @@ OooMachine::executeVector(RobEntry *e)
     if (fu == 1) {
         fu1Free_ = busy_until;
         fu1Rec_.add(now_, busy_until);
+        pushEvent(busy_until, EvFu1);
     } else {
         fu2Free_ = busy_until;
         fu2Rec_.add(now_, busy_until);
+        pushEvent(busy_until, EvFu2);
     }
     occupyVectorReadPorts(*e, busy_until);
 
@@ -674,6 +1137,9 @@ OooMachine::executeVector(RobEntry *e)
         d.fullReadyAt = wstart + di.vl;
         d.writerIsLoad = false;
         e->completeAt = d.fullReadyAt;
+        // completeAt == fullReadyAt: the published EvRegFull covers
+        // the completion event while the entry is in the ROB.
+        publishRegWrite(di.dst.cls, e->physDst);
     } else if (di.dst.valid()) {
         // VReduce: scalar result after consuming all elements.
         PhysReg &d = renamer_.file(di.dst.cls).reg(e->physDst);
@@ -683,8 +1149,10 @@ OooMachine::executeVector(RobEntry *e)
         d.chainReadyAt = ready;
         d.fullReadyAt = ready;
         e->completeAt = ready;
+        publishRegWrite(di.dst.cls, e->physDst);
     } else {
         e->completeAt = busy_until;
+        pushEvent(e->completeAt, EvComplete, e->slabIdx);
     }
     finish(e->completeAt);
 }
@@ -702,6 +1170,7 @@ OooMachine::executeScalar(RobEntry *e)
         if (e->wasMispredicted && e->seq == redirectSeq_) {
             fetchStalledUntil_ = done + lat_.branchMispredict;
             redirectSeq_ = kNoSeq;
+            pushEvent(fetchStalledUntil_, EvFetch);
         }
     } else if (di.dst.valid()) {
         PhysReg &d = renamer_.file(di.dst.cls).reg(e->physDst);
@@ -709,33 +1178,68 @@ OooMachine::executeScalar(RobEntry *e)
         d.chainReadyAt = ready;
         d.fullReadyAt = ready;
         e->completeAt = ready;
+        // completeAt == fullReadyAt: covered by the EvRegFull event.
+        publishRegWrite(di.dst.cls, e->physDst);
+        finish(e->completeAt);
+        return;
     } else {
         e->completeAt = done;
     }
+    pushEvent(e->completeAt, EvComplete, e->slabIdx);
     finish(e->completeAt);
 }
 
 bool
 OooMachine::issueQueue(std::vector<RobEntry *> &queue,
-                       bool vector_queue)
+                       bool vector_queue, int qid)
 {
+    // Queue-level gate: min recheckAt over the entries as of the
+    // last fruitless scan. It can only be outdated downward by a
+    // wakeup or an insertion, and both reset it to 0.
+    if (queueCheckAt_[static_cast<size_t>(qid)] > now_)
+        return false;
+    Cycle min_next = kNoCycle;
     for (size_t i = 0; i < queue.size(); ++i) {
         RobEntry *e = queue[i];
+        // Skip entries that provably cannot be ready yet: parked
+        // (kNoCycle, woken by their producer's write) or bounded by
+        // a known future time.
+        if (e->recheckAt > now_) {
+            min_next = std::min(min_next, e->recheckAt);
+            continue;
+        }
         if (vector_queue) {
             bool fu_ok = e->di->traits().fu2Only
                              ? fu2Free_ <= now_
                              : (fu1Free_ <= now_ || fu2Free_ <= now_);
-            if (!fu_ok || !entryOperandsReady(*e))
+            if (!fu_ok) {
+                // Both eligible units busy: nothing to re-examine
+                // before the earlier one frees (it only gets later).
+                e->recheckAt = e->di->traits().fu2Only
+                                   ? fu2Free_
+                                   : std::min(fu1Free_, fu2Free_);
+                min_next = std::min(min_next, e->recheckAt);
                 continue;
+            }
+            if (!operandsReadyOrSchedule(e, true)) {
+                min_next = std::min(min_next, e->recheckAt);
+                continue;
+            }
             executeVector(e);
         } else {
-            if (!scalarSrcsReady(*e))
+            if (!operandsReadyOrSchedule(e, false)) {
+                min_next = std::min(min_next, e->recheckAt);
                 continue;
+            }
             executeScalar(e);
         }
         queue.erase(queue.begin() + static_cast<long>(i));
+        // Rescan next cycle: the issue may have unblocked nothing,
+        // but entries after this one were not examined.
+        queueCheckAt_[static_cast<size_t>(qid)] = 0;
         return true;
     }
+    queueCheckAt_[static_cast<size_t>(qid)] = min_next;
     return false;
 }
 
@@ -746,10 +1250,19 @@ OooMachine::issueQueue(std::vector<RobEntry *> &queue,
 void
 OooMachine::resolveEliminated()
 {
+    // Event-driven: entries resolve the moment their trigger
+    // register's full-ready time becomes known, and the dirty flag
+    // is raised exactly at those writes (or at insertion when the
+    // value was already known), so scanning at any other time would
+    // find nothing. The full in-order walk below is kept because
+    // several entries can resolve in the same pass and their
+    // release() order decides free-list order.
+    if (!elimWaitDirty_)
+        return;
     std::erase_if(elimWait_, [this](RobEntry *e) {
         if (e->copySrcPhys >= 0) {
             // SLE: a register-to-register copy of the source value.
-            const PhysReg &src =
+            PhysReg &src =
                 renamer_.file(e->di->dst.cls).reg(e->copySrcPhys);
             if (src.fullReadyAt == kNoCycle)
                 return false;
@@ -759,10 +1272,16 @@ OooMachine::resolveEliminated()
             d.chainReadyAt = done;
             d.fullReadyAt = done;
             e->completeAt = done;
+            --src.elimRefs;
             if (e->holdsCopyClaim) {
                 renamer_.file(e->di->dst.cls).release(e->copySrcPhys);
                 e->holdsCopyClaim = false;
             }
+            // completeAt == the destination's fullReadyAt: covered
+            // by the EvRegFull event published here (a not-retired
+            // entry holds its dst reference; a retired one's
+            // completion no longer gates anything).
+            publishRegWrite(e->di->dst.cls, e->physDst);
             finish(done);
             return true;
         }
@@ -772,9 +1291,11 @@ OooMachine::resolveEliminated()
         if (p.fullReadyAt == kNoCycle)
             return false;
         e->completeAt = std::max(e->depCycle + 1, p.fullReadyAt);
+        pushEvent(e->completeAt, EvComplete, e->slabIdx);
         finish(e->completeAt);
         return true;
     });
+    elimWaitDirty_ = false;
 }
 
 // ---------------------------------------------------------------
@@ -786,17 +1307,26 @@ OooMachine::dispatchStep()
 {
     if (fetchBuffer_.empty())
         return false;
-    const DynInst &di = *fetchBuffer_.front().first;
-    SeqNum seq = fetchBuffer_.front().second;
-
     if (rob_.size() >= cfg_.robSize) {
         ++robStalls_;
         return false;
     }
+    const DynInst &di = *fetchBuffer_.front().di;
+    SeqNum seq = fetchBuffer_.front().seq;
 
     bool vle = cfg_.loadElim == LoadElimMode::SleVle;
-    bool to_pipe = goesToMemPipe(di);
-    int q = routeQueue(di);
+    // Routing is a pure function of the instruction; a head blocked
+    // on structural space or renaming re-enters here every cycle, so
+    // memoize it per fetch-buffer head.
+    if (seq != routedSeq_) {
+        routedSeq_ = seq;
+        routedToPipe_ = goesToMemPipe(di);
+        routedQ_ = routeQueue(di);
+        routedRenameHere_ =
+            di.dst.valid() && (di.dst.cls != RegClass::V || !vle);
+    }
+    bool to_pipe = routedToPipe_;
+    int q = routedQ_;
 
     // Structural space in the target queue.
     if (to_pipe) {
@@ -817,17 +1347,17 @@ OooMachine::dispatchStep()
 
     // Destination renaming. V destinations are renamed here except
     // in SLE+VLE mode, where the Dep stage does it (figure 10).
-    bool rename_dst_here =
-        di.dst.valid() && (di.dst.cls != RegClass::V || !vle);
+    bool rename_dst_here = routedRenameHere_;
     if (rename_dst_here && !renamer_.canRename(di.dst.cls)) {
         ++renameStalls_;
         return false;
     }
 
-    slab_.emplace_back();
-    RobEntry *e = &slab_.back();
+    RobEntry *e = slab_.alloc();
     e->di = &di;
     e->seq = seq;
+    e->slabIdx = static_cast<uint32_t>(slab_.size() - 1);
+    e->inRob = true;
     if (fault_.faultSeq != kNoSeq && seq == fault_.faultSeq)
         e->faultArmed = true;
 
@@ -838,28 +1368,34 @@ OooMachine::dispatchStep()
         if (r.cls == RegClass::V && vle)
             continue; // renamed at the Dep stage
         e->physSrc[i] = renamer_.mapOf(r);
+        subscribeSrc(r.cls, e->physSrc[i]);
     }
     if (rename_dst_here) {
         auto ren = renamer_.renameDst(di.dst);
         e->physDst = ren.physDst;
         e->oldPhys = ren.oldPhys;
         e->dstCls = di.dst.cls;
+        subscribeDst(e->dstCls, e->physDst);
     }
-    if (di.isBranch() && mispredictedSeqs_.count(seq)) {
+    if (fetchBuffer_.front().mispredicted)
         e->wasMispredicted = true;
-        mispredictedSeqs_.erase(seq);
-    }
 
     rob_.push_back(e);
     if (to_pipe) {
         ++memSlotsUsed_;
         pipeFifo_.push_back(e);
     } else if (q == 0) {
+        e->queueId = 0;
         aQueue_.push_back(e);
+        queueCheckAt_[0] = 0;
     } else if (q == 1) {
+        e->queueId = 1;
         sQueue_.push_back(e);
+        queueCheckAt_[1] = 0;
     } else {
+        e->queueId = 2;
         vQueue_.push_back(e);
+        queueCheckAt_[2] = 0;
     }
 
     fetchBuffer_.pop_front();
@@ -882,7 +1418,7 @@ OooMachine::fetchStep()
 
     const DynInst &di = trace_[fetchIndex_];
     SeqNum seq = fetchIndex_;
-    fetchBuffer_.emplace_back(&di, seq);
+    fetchBuffer_.push_back({&di, seq, false});
     ++fetchIndex_;
 
     if (!di.isBranch())
@@ -904,7 +1440,7 @@ OooMachine::fetchStep()
     }
     if (mispredict) {
         ++mispredicts_;
-        mispredictedSeqs_.insert(seq);
+        fetchBuffer_.back().mispredicted = true;
         redirectSeq_ = seq;
         fetchStalledUntil_ = kNoCycle; // until the branch resolves
     }
@@ -954,9 +1490,23 @@ OooMachine::takeTrap()
         }
     }
 
+    // The squash drops every reference the wakeup network holds:
+    // subscriptions die with their ROB entries, unresolved
+    // eliminations with elimWait_, and parked waiter lists are swept
+    // clean below (stale calendar events are harmless — they fail
+    // validation once nothing references them).
+    for (RobEntry *e : elimWait_) {
+        if (e->copySrcPhys >= 0)
+            --renamer_.file(e->di->dst.cls)
+                  .reg(e->copySrcPhys)
+                  .elimRefs;
+    }
+
     // Walk the ROB youngest-first, undoing every rename and claim.
     for (auto it = rob_.rbegin(); it != rob_.rend(); ++it) {
         RobEntry *e = *it;
+        e->inRob = false;
+        unsubscribeEntry(*e);
         if (e->holdsCopyClaim) {
             renamer_.file(e->di->dst.cls).release(e->copySrcPhys);
             e->holdsCopyClaim = false;
@@ -965,17 +1515,25 @@ OooMachine::takeTrap()
             renamer_.rollback(e->di->dst, e->physDst, e->oldPhys);
     }
 
+    for (unsigned c = 0; c < kNumRegClasses; ++c) {
+        PhysRegFile &f = renamer_.file(static_cast<RegClass>(c));
+        for (unsigned r = 0; r < f.size(); ++r)
+            f.reg(static_cast<int>(r)).waiterHead = -1;
+    }
+
     rob_.clear();
     aQueue_.clear();
     sQueue_.clear();
     vQueue_.clear();
+    queueCheckAt_.fill(0);
     pipeFifo_.clear();
     pipeStage_.fill(nullptr);
     waitSet_.clear();
+    waitCleanupAt_ = kNoCycle;
     elimWait_.clear();
+    elimWaitDirty_ = false;
     memSlotsUsed_ = 0;
     fetchBuffer_.clear();
-    mispredictedSeqs_.clear();
     redirectSeq_ = kNoSeq;
 
     // Tags may describe squashed state; drop them conservatively.
@@ -990,6 +1548,7 @@ OooMachine::takeTrap()
     if (fault_.faultSeq == fault_seq)
         fault_.faultSeq = kNoSeq;
     fetchStalledUntil_ = now_ + cfg_.trapPenalty;
+    pushEvent(fetchStalledUntil_, EvFetch);
     ++traps_;
 }
 
@@ -997,8 +1556,76 @@ OooMachine::takeTrap()
 // Main loop
 // ---------------------------------------------------------------
 
+/**
+ * Is a popped calendar candidate still a time the full rescan would
+ * report? Each case checks exactly what nextEventAfterScan() would
+ * look at: the value must still be current, and register times must
+ * still be referenced by a live ROB entry (or, for full-ready times,
+ * an unresolved eliminated load).
+ */
+bool
+OooMachine::eventLive(const Event &ev) const
+{
+    switch (static_cast<EvKind>(ev.kind)) {
+    case EvFu1:
+        return ev.t == fu1Free_;
+    case EvFu2:
+        return ev.t == fu2Free_;
+    case EvMemAny:
+        return ev.t == memFreeCache_;
+    case EvMemLoad:
+        return ev.t == memFreeLoadCache_;
+    case EvMemStore:
+        return ev.t == memFreeStoreCache_;
+    case EvFetch:
+        return ev.t == fetchStalledUntil_;
+    case EvComplete: {
+        const RobEntry &e = slab_[ev.id];
+        return e.inRob && ev.t == e.completeAt;
+    }
+    case EvMemDone: {
+        const RobEntry &e = slab_[ev.id];
+        return e.inRob && ev.t == e.memDoneAt;
+    }
+    case EvRegChain: {
+        const PhysReg &p =
+            renamer_.file(static_cast<RegClass>(ev.cls))
+                .reg(static_cast<int>(ev.id));
+        return p.robSrcRefs + p.robDstRefs > 0 &&
+               ev.t == p.chainReadyAt;
+    }
+    case EvRegFull: {
+        const PhysReg &p =
+            renamer_.file(static_cast<RegClass>(ev.cls))
+                .reg(static_cast<int>(ev.id));
+        return p.robSrcRefs + p.robDstRefs + p.elimRefs > 0 &&
+               ev.t == p.fullReadyAt;
+    }
+    case EvRegPort: {
+        const PhysReg &p =
+            renamer_.file(static_cast<RegClass>(ev.cls))
+                .reg(static_cast<int>(ev.id));
+        return p.robSrcRefs > 0 && ev.t == p.readPortFreeAt;
+    }
+    }
+    return false;
+}
+
 Cycle
-OooMachine::nextEventAfter() const
+OooMachine::nextEventFromCalendar()
+{
+    while (!events_.empty()) {
+        const Event &top = events_.front();
+        if (top.t > now_ && eventLive(top))
+            return top.t;
+        std::pop_heap(events_.begin(), events_.end(), EventAfter{});
+        events_.pop_back();
+    }
+    return kNoCycle;
+}
+
+Cycle
+OooMachine::nextEventAfterScan() const
 {
     Cycle best = kNoCycle;
     auto consider = [&](Cycle c) {
@@ -1054,9 +1681,9 @@ OooMachine::run()
         resolveEliminated();
         cleanupWaitSet();
         progress |= memIssueStep();
-        progress |= issueQueue(aQueue_, false);
-        progress |= issueQueue(sQueue_, false);
-        progress |= issueQueue(vQueue_, true);
+        progress |= issueQueue(aQueue_, false, 0);
+        progress |= issueQueue(sQueue_, false, 1);
+        progress |= issueQueue(vQueue_, true, 2);
         progress |= pipeAdvance();
         progress |= dispatchStep();
         progress |= fetchStep();
@@ -1069,7 +1696,18 @@ OooMachine::run()
         if (progress) {
             ++now_;
         } else {
-            Cycle next = nextEventAfter();
+            Cycle next = nextEventFromCalendar();
+#ifndef NDEBUG
+            // The incremental calendar must agree with the full
+            // rescan on every idle jump; a divergence would silently
+            // change simulated timing.
+            sim_assert(next == nextEventAfterScan(),
+                       "event calendar (%llu) diverges from scan "
+                       "(%llu) at cycle %llu",
+                       (unsigned long long)next,
+                       (unsigned long long)nextEventAfterScan(),
+                       (unsigned long long)now_);
+#endif
             if (next == kNoCycle) {
                 std::string head = "-";
                 if (!rob_.empty()) {

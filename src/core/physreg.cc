@@ -1,6 +1,7 @@
 #include "core/physreg.hh"
 
 #include <algorithm>
+#include <cassert>
 
 #include "common/logging.hh"
 
@@ -27,14 +28,31 @@ PhysRegFile::alloc()
     sim_assert(!freeList_.empty(), "allocation from empty free list");
     // Prefer an untagged register: tagged free registers are a
     // cache of memory contents that load elimination can still hit.
-    auto it = std::find_if(freeList_.begin(), freeList_.end(),
-                           [this](int r) { return !regs_[r].tag.valid; });
-    if (it == freeList_.end())
-        it = freeList_.begin();
-    int r = *it;
-    freeList_.erase(it);
+    // Fast path: without load elimination no register ever carries a
+    // tag, so the head of the list is the first untagged entry.
+    int r;
+    if (!regs_[static_cast<size_t>(freeList_.front())].tag.valid) {
+        r = freeList_.front();
+        freeList_.pop_front();
+    } else {
+        auto it =
+            std::find_if(freeList_.begin(), freeList_.end(),
+                         [this](int fr) { return !regs_[fr].tag.valid; });
+        if (it == freeList_.end())
+            it = freeList_.begin();
+        r = *it;
+        freeList_.erase(it);
+    }
 
     PhysReg &p = regs_[r];
+    // A register only reaches the free list once every in-flight
+    // reader and writer has committed or been squashed, so the
+    // subscription counts must be zero. The waiter list may still
+    // hold retired-but-unresolved eliminated loads: they resolve
+    // against whatever producer writes this register next, exactly
+    // as the pre-wakeup code's every-cycle rescan did.
+    assert(p.robSrcRefs == 0 && p.robDstRefs == 0 &&
+           p.elimRefs == 0);
     p.inFreeList = false;
     p.refCount = 1;
     p.chainReadyAt = kNoCycle;

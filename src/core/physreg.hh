@@ -20,9 +20,9 @@
 #define OOVA_CORE_PHYSREG_HH
 
 #include <cstddef>
-#include <deque>
 #include <vector>
 
+#include "common/slidingqueue.hh"
 #include "common/types.hh"
 #include "isa/registers.hh"
 
@@ -70,6 +70,26 @@ struct PhysReg
     int refCount = 0;
     bool inFreeList = false;
     MemTag tag;
+
+    // ---- wakeup network (owned by the OOOVA simulator) ----
+    // The simulator parks in-flight consumers on their producer
+    // register instead of re-polling it every cycle, and counts how
+    // many live ROB entries reference the register so its event
+    // calendar can tell a live ready-time from a stale one. These
+    // fields are bookkeeping only: they never influence simulated
+    // timing, and the REF machine ignores them.
+    /**
+     * Head of the intrusive list of ROB entries waiting for this
+     * register's next ready-time write (slab indices into the
+     * simulator's in-flight storage; -1 = empty).
+     */
+    int32_t waiterHead = -1;
+    /** Live ROB entries referencing this register as a source. */
+    uint16_t robSrcRefs = 0;
+    /** Live ROB entries referencing this register as destination. */
+    uint16_t robDstRefs = 0;
+    /** Unresolved eliminated loads copying from this register. */
+    uint16_t elimRefs = 0;
 };
 
 /** One class's physical file + free list. */
@@ -139,7 +159,7 @@ class PhysRegFile
 
   private:
     std::vector<PhysReg> regs_;
-    std::deque<int> freeList_;
+    SlidingQueue<int> freeList_;
 };
 
 } // namespace oova

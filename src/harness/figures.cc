@@ -1263,8 +1263,11 @@ simspeedThroughput(const SweepEngine &engine)
          }},
     };
 
+    // The raw integer "instr/s" column is the stable machine-readable
+    // field scripts/bench_speed.sh records into BENCH_simspeed.json;
+    // the formatted columns are for humans.
     TextTable table({"Model", "jobs", "Minstr", "wall ms",
-                     "Minstr/s"});
+                     "Minstr/s", "instr/s"});
     for (const auto &m : models) {
         std::vector<SweepJob> jobs;
         for (const auto &n : names)
@@ -1279,10 +1282,13 @@ simspeedThroughput(const SweepEngine &engine)
         for (const auto &r : res)
             instrs += r.instructions;
         double minstr = static_cast<double>(instrs) / 1e6;
+        double per_s =
+            ms > 0.0 ? static_cast<double>(instrs) / (ms / 1e3) : 0.0;
         table.addRow({m.label, TextTable::fmt(uint64_t(jobs.size())),
                       TextTable::fmt(minstr, 2),
                       TextTable::fmt(ms, 1),
-                      TextTable::fmt(minstr / (ms / 1e3), 2)});
+                      TextTable::fmt(minstr / (ms / 1e3), 2),
+                      TextTable::fmt(static_cast<uint64_t>(per_s))});
     }
 
     FigureResult out;

@@ -26,17 +26,25 @@ mix64(uint64_t x)
 std::vector<Addr>
 indexedElemAddrs(const DynInst &di)
 {
+    std::vector<Addr> out;
+    indexedElemAddrs(di, out);
+    return out;
+}
+
+void
+indexedElemAddrs(const DynInst &di, std::vector<Addr> &out)
+{
     sim_assert(di.isIndexedMem(),
                "indexedElemAddrs() on non-indexed op %s", opName(di.op));
     unsigned esz = std::max<unsigned>(di.elemSize, 1);
     uint64_t words = std::max<uint64_t>(di.regionBytes / esz, 1);
     unsigned vl = di.vl;
 
-    std::vector<Addr> out;
+    out.clear();
     // A zero-length gather/scatter reserves nothing, matching the
     // strided path's zero-element no-op.
     if (vl == 0)
-        return out;
+        return;
     out.reserve(vl);
     switch (di.idxPattern) {
     case IndexPattern::None:
@@ -86,7 +94,6 @@ indexedElemAddrs(const DynInst &di)
         break;
     }
     }
-    return out;
 }
 
 std::pair<Addr, Addr>

@@ -128,6 +128,12 @@ struct DynInst
  */
 std::vector<Addr> indexedElemAddrs(const DynInst &di);
 
+/**
+ * Allocation-free variant for simulator hot paths: clears @p out and
+ * fills it with the same addresses, reusing its capacity.
+ */
+void indexedElemAddrs(const DynInst &di, std::vector<Addr> &out);
+
 /** Build a vector arithmetic instruction. */
 DynInst makeVArith(Opcode op, RegId dst, RegId src_a, RegId src_b,
                    uint16_t vl);

@@ -1,75 +1,7 @@
 #include "isa/opcodes.hh"
 
-#include "common/logging.hh"
-
 namespace oova
 {
-
-namespace
-{
-
-// Columns: name, isVector, isMem, isLoad, isStore, isBranch,
-//          isControl, fu2Only, writesMask, lat
-constexpr OpTraits kTraits[kNumOpcodes] = {
-    {"sadd",    false, false, false, false, false, false, false, false,
-     LatClass::AddLogic},
-    {"smul",    false, false, false, false, false, false, false, false,
-     LatClass::Mul},
-    {"sdiv",    false, false, false, false, false, false, false, false,
-     LatClass::DivSqrt},
-    {"smove",   false, false, false, false, false, false, false, false,
-     LatClass::Move},
-    {"sload",   false, true,  true,  false, false, false, false, false,
-     LatClass::Mem},
-    {"sstore",  false, true,  false, true,  false, false, false, false,
-     LatClass::Mem},
-    {"branch",  false, false, false, false, true,  false, false, false,
-     LatClass::AddLogic},
-    {"call",    false, false, false, false, true,  false, false, false,
-     LatClass::AddLogic},
-    {"ret",     false, false, false, false, true,  false, false, false,
-     LatClass::AddLogic},
-    {"setvl",   false, false, false, false, false, true,  false, false,
-     LatClass::Move},
-    {"setvs",   false, false, false, false, false, true,  false, false,
-     LatClass::Move},
-    {"vadd",    true,  false, false, false, false, false, false, false,
-     LatClass::AddLogic},
-    {"vmul",    true,  false, false, false, false, false, true,  false,
-     LatClass::Mul},
-    {"vdiv",    true,  false, false, false, false, false, true,  false,
-     LatClass::DivSqrt},
-    {"vsqrt",   true,  false, false, false, false, false, true,  false,
-     LatClass::DivSqrt},
-    {"vlogic",  true,  false, false, false, false, false, false, false,
-     LatClass::AddLogic},
-    {"vshift",  true,  false, false, false, false, false, false, false,
-     LatClass::AddLogic},
-    {"vcmp",    true,  false, false, false, false, false, false, true,
-     LatClass::AddLogic},
-    {"vmerge",  true,  false, false, false, false, false, false, false,
-     LatClass::AddLogic},
-    {"vreduce", true,  false, false, false, false, false, false, false,
-     LatClass::AddLogic},
-    {"vload",   true,  true,  true,  false, false, false, false, false,
-     LatClass::Mem},
-    {"vstore",  true,  true,  false, true,  false, false, false, false,
-     LatClass::Mem},
-    {"vgather", true,  true,  true,  false, false, false, false, false,
-     LatClass::Mem},
-    {"vscatter", true, true,  false, true,  false, false, false, false,
-     LatClass::Mem},
-};
-
-} // namespace
-
-const OpTraits &
-traits(Opcode op)
-{
-    auto idx = static_cast<unsigned>(op);
-    sim_assert(idx < kNumOpcodes, "bad opcode %u", idx);
-    return kTraits[idx];
-}
 
 const char *
 opName(Opcode op)

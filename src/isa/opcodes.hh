@@ -79,8 +79,74 @@ struct OpTraits
     LatClass lat;
 };
 
-/** Look up the traits of an opcode. */
-const OpTraits &traits(Opcode op);
+namespace detail
+{
+
+// Columns: name, isVector, isMem, isLoad, isStore, isBranch,
+//          isControl, fu2Only, writesMask, lat
+inline constexpr OpTraits kOpTraits[kNumOpcodes] = {
+    {"sadd",    false, false, false, false, false, false, false, false,
+     LatClass::AddLogic},
+    {"smul",    false, false, false, false, false, false, false, false,
+     LatClass::Mul},
+    {"sdiv",    false, false, false, false, false, false, false, false,
+     LatClass::DivSqrt},
+    {"smove",   false, false, false, false, false, false, false, false,
+     LatClass::Move},
+    {"sload",   false, true,  true,  false, false, false, false, false,
+     LatClass::Mem},
+    {"sstore",  false, true,  false, true,  false, false, false, false,
+     LatClass::Mem},
+    {"branch",  false, false, false, false, true,  false, false, false,
+     LatClass::AddLogic},
+    {"call",    false, false, false, false, true,  false, false, false,
+     LatClass::AddLogic},
+    {"ret",     false, false, false, false, true,  false, false, false,
+     LatClass::AddLogic},
+    {"setvl",   false, false, false, false, false, true,  false, false,
+     LatClass::Move},
+    {"setvs",   false, false, false, false, false, true,  false, false,
+     LatClass::Move},
+    {"vadd",    true,  false, false, false, false, false, false, false,
+     LatClass::AddLogic},
+    {"vmul",    true,  false, false, false, false, false, true,  false,
+     LatClass::Mul},
+    {"vdiv",    true,  false, false, false, false, false, true,  false,
+     LatClass::DivSqrt},
+    {"vsqrt",   true,  false, false, false, false, false, true,  false,
+     LatClass::DivSqrt},
+    {"vlogic",  true,  false, false, false, false, false, false, false,
+     LatClass::AddLogic},
+    {"vshift",  true,  false, false, false, false, false, false, false,
+     LatClass::AddLogic},
+    {"vcmp",    true,  false, false, false, false, false, false, true,
+     LatClass::AddLogic},
+    {"vmerge",  true,  false, false, false, false, false, false, false,
+     LatClass::AddLogic},
+    {"vreduce", true,  false, false, false, false, false, false, false,
+     LatClass::AddLogic},
+    {"vload",   true,  true,  true,  false, false, false, false, false,
+     LatClass::Mem},
+    {"vstore",  true,  true,  false, true,  false, false, false, false,
+     LatClass::Mem},
+    {"vgather", true,  true,  true,  false, false, false, false, false,
+     LatClass::Mem},
+    {"vscatter", true, true,  false, true,  false, false, false, false,
+     LatClass::Mem},
+};
+
+} // namespace detail
+
+/**
+ * Look up the traits of an opcode. Inline: this runs several times
+ * per instruction per simulated cycle, so the table lives in the
+ * header and the lookup compiles down to an indexed load.
+ */
+inline const OpTraits &
+traits(Opcode op)
+{
+    return detail::kOpTraits[static_cast<unsigned>(op)];
+}
 
 /** Short mnemonic, e.g. "vadd". */
 const char *opName(Opcode op);

@@ -150,11 +150,14 @@ class FlatBus : public MemorySystem
         acc.firstData = acc.start + latency_;
         acc.lastData = acc.end + latency_;
         units_[u] = buses_[u].freeAt();
-        stats_.requests = 0;
-        for (const AddressBus &b : buses_)
-            stats_.requests += b.requests();
-        if (buses_.size() > 1)
+        if (buses_.size() == 1) {
+            stats_.requests = buses_[0].requests();
+        } else {
+            stats_.requests = 0;
+            for (const AddressBus &b : buses_)
+                stats_.requests += b.requests();
             busy_.add(acc.start, acc.end);
+        }
         return acc;
     }
 

@@ -67,7 +67,7 @@ Tlb::Level::peek(Addr page) const
     return nullptr;
 }
 
-void
+Tlb::Entry *
 Tlb::Level::insert(Addr page, uint64_t tick)
 {
     Entry *set = &ways[(page % sets) * assoc];
@@ -83,6 +83,7 @@ Tlb::Level::insert(Addr page, uint64_t tick)
     victim->page = page;
     victim->valid = true;
     victim->lastUse = tick;
+    return victim;
 }
 
 // -------------------------------------------------------------- Tlb
@@ -100,38 +101,69 @@ Tlb::stridedPages(Addr addr, int64_t stride_bytes,
                   unsigned elems) const
 {
     std::vector<Addr> pages;
+    stridedPages(addr, stride_bytes, elems, pages);
+    return pages;
+}
+
+void
+Tlb::stridedPages(Addr addr, int64_t stride_bytes, unsigned elems,
+                  std::vector<Addr> &out) const
+{
+    out.clear();
     Addr prev = 0;
     bool have_prev = false;
     for (unsigned i = 0; i < elems; ++i) {
         Addr a = addr + static_cast<int64_t>(i) * stride_bytes;
         Addr p = pageOf(a);
         if (!have_prev || p != prev) {
-            pages.push_back(p);
+            out.push_back(p);
             prev = p;
             have_prev = true;
         }
     }
-    return pages;
 }
 
 std::vector<Addr>
 Tlb::indexedPages(const std::vector<Addr> &elem_addrs) const
 {
     std::vector<Addr> pages;
-    pages.reserve(elem_addrs.size());
-    for (Addr a : elem_addrs)
-        pages.push_back(pageOf(a));
+    indexedPages(elem_addrs, pages);
     return pages;
+}
+
+void
+Tlb::indexedPages(const std::vector<Addr> &elem_addrs,
+                  std::vector<Addr> &out) const
+{
+    out.clear();
+    out.reserve(elem_addrs.size());
+    for (Addr a : elem_addrs)
+        out.push_back(pageOf(a));
 }
 
 unsigned
 Tlb::translate(const std::vector<Addr> &pages, bool indexed)
 {
     unsigned delay = 0;
+    // Page sequences repeat heavily (unit-stride re-entries,
+    // congruent-mod gathers), so batch consecutive lookups of the
+    // same page: a repeat of the page just touched always hits L1,
+    // and the cached entry pointer is refreshed after every insert,
+    // so counters, ticks and LRU timestamps are exactly those of the
+    // full set walk.
+    Entry *last = nullptr;
+    Addr last_page = 0;
     for (Addr p : pages) {
         ++tick_;
-        if (l1_.find(p, tick_)) {
+        if (last && p == last_page) {
             ++hits_;
+            last->lastUse = tick_;
+            continue;
+        }
+        if (Entry *e = l1_.find(p, tick_)) {
+            ++hits_;
+            last = e;
+            last_page = p;
             continue;
         }
         ++misses_;
@@ -145,7 +177,8 @@ Tlb::translate(const std::vector<Addr> &pages, bool indexed)
             if (!l2_.empty())
                 l2_.insert(p, tick_);
         }
-        l1_.insert(p, tick_);
+        last = l1_.insert(p, tick_);
+        last_page = p;
         // Misses that reach this point always walk in hardware. With
         // SoftwareTrap the OOOVA's trap handler pre-installs a
         // stream's pages so its reserve sees hits and pays nothing
@@ -167,7 +200,14 @@ Tlb::wouldMiss(const std::vector<Addr> &pages) const
     // repeated in @p pages therefore reports a miss each time. That
     // is conservative in exactly one direction (a would-miss page is
     // never reported resident), which is what the trap path needs.
+    Addr prev = 0;
+    bool have_prev = false;
     for (Addr p : pages) {
+        // A repeat of the page just probed has the same residency.
+        if (have_prev && p == prev)
+            continue;
+        prev = p;
+        have_prev = true;
         if (l1_.peek(p))
             continue;
         if (!l2_.empty() && l2_.peek(p))
@@ -181,12 +221,24 @@ unsigned
 Tlb::install(const std::vector<Addr> &pages, bool indexed)
 {
     unsigned installed = 0;
+    // Same consecutive-page batching as translate(): a repeat of the
+    // page just handled is resident in L1 by construction.
+    Entry *last = nullptr;
+    Addr last_page = 0;
     for (Addr p : pages) {
         ++tick_;
-        if (l1_.find(p, tick_))
+        if (last && p == last_page) {
+            last->lastUse = tick_;
             continue;
+        }
+        if (Entry *e = l1_.find(p, tick_)) {
+            last = e;
+            last_page = p;
+            continue;
+        }
         if (!l2_.empty() && l2_.find(p, tick_)) {
-            l1_.insert(p, tick_);
+            last = l1_.insert(p, tick_);
+            last_page = p;
             continue;
         }
         ++misses_;
@@ -194,7 +246,8 @@ Tlb::install(const std::vector<Addr> &pages, bool indexed)
             ++indexedMisses_;
         if (!l2_.empty())
             l2_.insert(p, tick_);
-        l1_.insert(p, tick_);
+        last = l1_.insert(p, tick_);
+        last_page = p;
         ++installed;
     }
     return installed;
@@ -228,8 +281,8 @@ class TranslatingMemorySystem : public MemorySystem
         if (elems == 0)
             return inner_->reserve(earliest, addr, stride_bytes,
                                    elems, op);
-        unsigned stall = tlb_.translate(
-            tlb_.stridedPages(addr, stride_bytes, elems), false);
+        tlb_.stridedPages(addr, stride_bytes, elems, pageScratch_);
+        unsigned stall = tlb_.translate(pageScratch_, false);
         MemAccess acc = inner_->reserve(earliest + stall, addr,
                                         stride_bytes, elems, op);
         refreshStats();
@@ -242,8 +295,8 @@ class TranslatingMemorySystem : public MemorySystem
     {
         if (elem_addrs.empty())
             return inner_->reserve(earliest, elem_addrs, op);
-        unsigned stall =
-            tlb_.translate(tlb_.indexedPages(elem_addrs), true);
+        tlb_.indexedPages(elem_addrs, pageScratch_);
+        unsigned stall = tlb_.translate(pageScratch_, true);
         MemAccess acc =
             inner_->reserve(earliest + stall, elem_addrs, op);
         refreshStats();
@@ -286,6 +339,8 @@ class TranslatingMemorySystem : public MemorySystem
 
     std::unique_ptr<MemorySystem> inner_;
     Tlb tlb_;
+    /** Reusable page-sequence buffer (one stream at a time). */
+    std::vector<Addr> pageScratch_;
     mutable MemStats merged_;
 };
 

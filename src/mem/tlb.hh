@@ -132,6 +132,10 @@ class Tlb
     std::vector<Addr> stridedPages(Addr addr, int64_t stride_bytes,
                                    unsigned elems) const;
 
+    /** Allocation-free variant: clears and fills @p out. */
+    void stridedPages(Addr addr, int64_t stride_bytes, unsigned elems,
+                      std::vector<Addr> &out) const;
+
     /**
      * The lookup sequence of a gather/scatter: one entry per
      * element, duplicates preserved — per-element translation is
@@ -139,6 +143,10 @@ class Tlb
      */
     std::vector<Addr>
     indexedPages(const std::vector<Addr> &elem_addrs) const;
+
+    /** Allocation-free variant: clears and fills @p out. */
+    void indexedPages(const std::vector<Addr> &elem_addrs,
+                      std::vector<Addr> &out) const;
 
     /**
      * Perform the lookups of one stream, filling on miss, and
@@ -182,7 +190,7 @@ class Tlb
         bool empty() const { return ways.empty(); }
         Entry *find(Addr page, uint64_t tick);
         const Entry *peek(Addr page) const;
-        void insert(Addr page, uint64_t tick);
+        Entry *insert(Addr page, uint64_t tick);
     };
 
     TlbConfig cfg_;

@@ -87,6 +87,8 @@ class RefMachine
     Cycle fu2Free_ = 0;
     std::unique_ptr<MemorySystem> mem_;
     std::vector<Cycle> memUnitFree_;
+    /** Reusable gather/scatter element-address buffer. */
+    std::vector<Addr> idxScratch_;
     IntervalRecorder fu1Rec_;
     IntervalRecorder fu2Rec_;
 
@@ -299,12 +301,12 @@ RefMachine::run()
             // addresses (the whole index vector is available at
             // issue), so bank conflicts follow the actual pattern.
             auto reserveStream = [&](Cycle at) {
-                return inst.isIndexedMem()
-                           ? mem_->reserve(at, indexedElemAddrs(inst),
-                                           mop)
-                           : mem_->reserve(at, inst.addr,
-                                           inst.strideBytes, inst.vl,
-                                           mop);
+                if (inst.isIndexedMem()) {
+                    indexedElemAddrs(inst, idxScratch_);
+                    return mem_->reserve(at, idxScratch_, mop);
+                }
+                return mem_->reserve(at, inst.addr, inst.strideBytes,
+                                     inst.vl, mop);
             };
             if (inst.isLoad()) {
                 if (inst.dst.cls == RegClass::V)

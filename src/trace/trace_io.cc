@@ -55,7 +55,14 @@ getReg(std::istream &is, RegId &r)
     uint8_t cls, idx;
     if (!get(is, cls) || !get(is, idx))
         return false;
+    // Validate at the deserialization boundary: register classes
+    // and indices are used as unchecked array subscripts everywhere
+    // downstream, so a corrupted byte must be rejected here.
+    if (cls > static_cast<uint8_t>(RegClass::None))
+        return false;
     r.cls = static_cast<RegClass>(cls);
+    if (r.cls != RegClass::None && idx >= numLogicalRegs(r.cls))
+        return false;
     r.idx = idx;
     return true;
 }
@@ -134,7 +141,20 @@ loadTrace(Trace &out, std::istream &is)
             out = Trace();
             return false;
         }
+        // Validate at the deserialization boundary: traits() is an
+        // unchecked table lookup on the hot path, so a corrupted
+        // opcode byte must be rejected here, not deep in a simulator.
+        if (op >= kNumOpcodes) {
+            out = Trace();
+            return false;
+        }
         inst.op = static_cast<Opcode>(op);
+        // Same boundary rule: numSrc bounds every src[] loop in the
+        // simulators (the array holds kMaxSrcRegs entries).
+        if (num_src > kMaxSrcRegs) {
+            out = Trace();
+            return false;
+        }
         inst.numSrc = num_src;
         for (unsigned i = 0; i < kMaxSrcRegs; ++i) {
             if (!getReg(is, inst.src[i])) {
@@ -152,6 +172,10 @@ loadTrace(Trace &out, std::istream &is)
             return false;
         }
         inst.elemSize = esize;
+        if (ipat > static_cast<uint8_t>(IndexPattern::Random)) {
+            out = Trace();
+            return false;
+        }
         inst.idxPattern = static_cast<IndexPattern>(ipat);
         inst.taken = taken != 0;
         inst.isSpill = spill != 0;

@@ -112,13 +112,22 @@ TEST_P(TraceIoRoundTrip, RandomTrace)
         DynInst inst;
         inst.pc = rng.next();
         inst.op = static_cast<Opcode>(rng.uniform(0, kNumOpcodes - 1));
-        inst.dst = RegId(static_cast<RegClass>(rng.uniform(0, 4)),
-                         static_cast<uint8_t>(rng.uniform(0, 7)));
+        // Register indices stay inside each class's architected
+        // count: the deserializer rejects out-of-range registers
+        // (they would index out of the rename tables downstream).
+        auto rand_reg = [&](int max_cls) {
+            auto cls = static_cast<RegClass>(rng.uniform(0, max_cls));
+            if (cls == RegClass::None)
+                return RegId();
+            auto idx = static_cast<uint8_t>(
+                rng.uniform(0, static_cast<int>(numLogicalRegs(cls)) -
+                                   1));
+            return RegId(cls, idx);
+        };
+        inst.dst = rand_reg(4);
         inst.numSrc = static_cast<uint8_t>(rng.uniform(0, 3));
         for (unsigned k = 0; k < inst.numSrc; ++k)
-            inst.src[k] =
-                RegId(static_cast<RegClass>(rng.uniform(0, 3)),
-                      static_cast<uint8_t>(rng.uniform(0, 7)));
+            inst.src[k] = rand_reg(3);
         inst.vl = static_cast<uint16_t>(rng.uniform(1, 128));
         inst.strideBytes = static_cast<int64_t>(rng.uniform(0, 64)) - 32;
         inst.addr = rng.next();
@@ -157,6 +166,32 @@ TEST(TraceIo, RejectsBadMagic)
     Trace u;
     EXPECT_FALSE(loadTrace(u, ss));
     EXPECT_TRUE(u.empty());
+}
+
+TEST(TraceIo, RejectsOutOfRangeEnumBytes)
+{
+    Trace t = smallTrace();
+    std::stringstream ss;
+    ASSERT_TRUE(saveTrace(t, ss));
+    std::string bytes = ss.str();
+    // First instruction's opcode byte: magic(8) + name_len(4) +
+    // name + count(8) + pc(8); then dst reg (2), numSrc (1), three
+    // src regs (6), vl (2), stride (8), addr (8), region (4),
+    // esize (1), ipat. All of these feed unchecked array subscripts
+    // (traits() table, register files, src[] loops), so a corrupted
+    // byte at any of them must be rejected at deserialization.
+    size_t op_off = 8 + 4 + t.name().size() + 8 + 8;
+    size_t dst_cls_off = op_off + 1;
+    size_t num_src_off = op_off + 3;
+    size_t ipat_off = num_src_off + 1 + 6 + 2 + 8 + 8 + 4 + 1;
+    for (size_t off : {op_off, dst_cls_off, num_src_off, ipat_off}) {
+        std::string bad_bytes = bytes;
+        bad_bytes[off] = static_cast<char>(0xff);
+        std::stringstream bad(bad_bytes);
+        Trace u;
+        EXPECT_FALSE(loadTrace(u, bad)) << "offset=" << off;
+        EXPECT_TRUE(u.empty()) << "offset=" << off;
+    }
 }
 
 TEST(TraceIo, RejectsTruncation)
