@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "check/check.hh"
 #include "harness/figure.hh"
 
 using namespace oova;
@@ -109,5 +110,7 @@ main(int argc, char **argv)
     }
     if (opts.json)
         std::printf("]\n");
-    return 0;
+    // Checkers are observe-only, so a violation never perturbs the
+    // figure output above — it only turns the exit code red.
+    return check::processExitCode();
 }

@@ -83,15 +83,31 @@ if [ -n "$missing" ]; then
          "capture with: $0 $BENCH --update" >&2
 fi
 
-# Stale goldens for figures that no longer exist are also an error:
-# they mean the gate is checking nothing.
+# Goldens for figures that no longer exist are also an error: they
+# mean the gate is diffing nothing. Aggregate and name them all,
+# symmetric with MISSING GOLDENS above. (Membership is tested with a
+# plain loop: `echo | grep -q` trips pipefail when grep exits on an
+# early match and echo takes SIGPIPE.)
+orphans=""
 for golden in "$GOLDEN_DIR"/*.txt; do
     fig="$(basename "$golden" .txt)"
-    if ! echo "$figures" | grep -qx "$fig"; then
-        echo "STALE GOLDEN: $fig is not a registered figure" >&2
+    registered=0
+    for f in $figures; do
+        if [ "$f" = "$fig" ]; then
+            registered=1
+            break
+        fi
+    done
+    if [ "$registered" -eq 0 ]; then
+        orphans="$orphans $fig"
         fail=1
     fi
 done
+if [ -n "$orphans" ]; then
+    echo "ORPHAN GOLDENS:$orphans" >&2
+    echo "these goldens match no registered figure; delete them," \
+         "or re-register the figure they belong to" >&2
+fi
 
 if [ "$fail" -ne 0 ]; then
     echo "golden-figure gate FAILED" >&2

@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Project-specific lint gate.
+
+Four repo invariants that neither the compiler nor clang-tidy can
+see, each of which has bitten (or nearly bitten) a past PR:
+
+  1. Every registered figure has a checked-in golden
+     (tests/golden/<name>.txt), so no figure dodges the output gate.
+  2. Every golden belongs to a registered figure — orphans mean the
+     gate is diffing against nothing.
+  3. Every SimResult field is surfaced by simResultJson() in
+     src/mem/simresult.cc, so new counters cannot silently stay out
+     of the machine-readable output the perf trajectory is tracked
+     with.
+  4. No naked new/delete outside the dedicated storage code: the
+     simulator's hot-path storage is slab/sliding-queue based, and
+     ad-hoc ownership has no place next to it.
+
+Exit code: 0 clean, 1 violations (each printed as "LINT: ...").
+"""
+
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+# simspeed prints wall-clock timings: registered, but not a
+# correctness surface, so it carries no golden.
+GOLDEN_EXEMPT = {"simspeed"}
+
+# Files allowed to own raw storage (none currently need to; add the
+# slab/queue implementation here if it ever manages raw memory).
+NAKED_NEW_ALLOWED: set = set()
+
+errors = []
+
+
+def err(msg: str) -> None:
+    errors.append(msg)
+    print(f"LINT: {msg}")
+
+
+# ---------------------------------------------------------------
+# Rules 1 + 2: figure registry <-> goldens, both directions.
+# ---------------------------------------------------------------
+
+def registered_figures() -> dict:
+    """Figure name -> bench binary name, from the registry table."""
+    src = (ROOT / "src/harness/figures.cc").read_text()
+    # Parse only the figureRegistry() body: other tables in the file
+    # also hold brace-initialized string pairs.
+    m = re.search(r"figureRegistry\(\)\s*\{(.*)", src, re.S)
+    if not m:
+        err("figureRegistry() not found in src/harness/figures.cc")
+        return {}
+    figs = {}
+    for fm in re.finditer(r'\{"([a-z0-9]+)",\s*"([a-z0-9_]+)"',
+                          m.group(1)):
+        figs[fm.group(1)] = fm.group(2)
+    return figs
+
+
+figures = registered_figures()
+if len(figures) < 10:
+    err(f"figure registry parse found only {len(figures)} entries "
+        "in src/harness/figures.cc; the parser is broken")
+
+golden_dir = ROOT / "tests/golden"
+goldens = {p.stem for p in golden_dir.glob("*.txt")}
+
+for name in sorted(figures):
+    if name in GOLDEN_EXEMPT:
+        continue
+    if name not in goldens:
+        err(f"figure '{name}' has no golden "
+            f"(tests/golden/{name}.txt); capture it with "
+            "scripts/check_goldens.sh --update")
+
+for name in sorted(goldens):
+    if name not in figures:
+        err(f"orphan golden tests/golden/{name}.txt matches no "
+            "registered figure")
+
+# Each figure's standalone bench wrapper must exist (the registry's
+# binary column is what `oova_bench --list` advertises).
+for name, binary in sorted(figures.items()):
+    if not ((ROOT / f"bench/{binary}.cc").exists() or
+            (ROOT / f"bench/{name}.cc").exists()):
+        err(f"figure '{name}' names bench binary '{binary}' but "
+            f"bench/{binary}.cc does not exist")
+
+# ---------------------------------------------------------------
+# Rule 3: every SimResult field surfaced by simResultJson().
+# ---------------------------------------------------------------
+
+def simresult_fields() -> list:
+    """Member and derived-accessor names of struct SimResult."""
+    src = (ROOT / "src/mem/simresult.hh").read_text()
+    m = re.search(r"struct SimResult\s*\{(.*)\n\};", src, re.S)
+    if not m:
+        err("cannot find struct SimResult in src/mem/simresult.hh")
+        return []
+    body = m.group(1)
+    body = re.sub(r"/\*.*?\*/", "", body, flags=re.S)
+    body = re.sub(r"//[^\n]*", "", body)
+    names = []
+    # Data members: "type name = init;" or "type name;" (incl. the
+    # braced-init arrays), one per line.
+    for dm in re.finditer(
+            r"^\s+[A-Za-z_][\w:<>, ]*?\s+(\w+)\s*(?:=[^;]*|\{\})?;",
+            body, re.M):
+        names.append(dm.group(1))
+    # Derived accessors: "type name() const".
+    for fm in re.finditer(r"(\w+)\(\)\s*const", body):
+        names.append(fm.group(1))
+    return names
+
+
+fields = simresult_fields()
+if len(fields) < 20:
+    err(f"SimResult parse found only {len(fields)} fields; the "
+        "parser is broken")
+
+renderer = (ROOT / "src/mem/simresult.cc").read_text()
+m = re.search(r"simResultJson\(.*", renderer, re.S)
+renderer_body = m.group(0) if m else ""
+if not renderer_body:
+    err("simResultJson() not found in src/mem/simresult.cc")
+for field in fields:
+    # The key appears either as a plain argument ("cycles") or as an
+    # escaped JSON key inside a larger literal (\"program\").
+    if (f'"{field}"' not in renderer_body and
+            f'\\"{field}\\"' not in renderer_body):
+        err(f"SimResult field '{field}' is not surfaced by "
+            "simResultJson() in src/mem/simresult.cc")
+
+# ---------------------------------------------------------------
+# Rule 4: no naked new/delete outside dedicated storage code.
+# ---------------------------------------------------------------
+
+NEW_RE = re.compile(r"\bnew\b\s+[A-Za-z_(]")
+DELETE_RE = re.compile(r"\bdelete(\[\])?\b\s+[A-Za-z_]")
+
+for sub in ("src", "bench", "examples"):
+    for path in sorted((ROOT / sub).rglob("*")):
+        if path.suffix not in (".cc", ".hh", ".cpp", ".hpp"):
+            continue
+        rel = path.relative_to(ROOT).as_posix()
+        if rel in NAKED_NEW_ALLOWED:
+            continue
+        text = path.read_text()
+        text = re.sub(r"/\*.*?\*/", "", text, flags=re.S)
+        for lineno, line in enumerate(text.splitlines(), 1):
+            code = line.split("//", 1)[0].replace("= delete", "")
+            if NEW_RE.search(code) or DELETE_RE.search(code):
+                err(f"{rel}:{lineno}: naked new/delete — use the "
+                    "slab, a container, or a smart pointer")
+
+if errors:
+    print(f"lint_oova: {len(errors)} violation(s)")
+    sys.exit(1)
+print("lint_oova: all checks passed "
+      f"({len(figures)} figures, {len(fields)} SimResult fields)")

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# clang-tidy gate: analyze every src/ and bench/ translation unit
+# using the checked-in .clang-tidy config and the build tree's
+# compile_commands.json (CMAKE_EXPORT_COMPILE_COMMANDS is ON).
+#
+# Usage: scripts/run_clang_tidy.sh [build-dir]
+#
+# tests/ are exempt: gtest's macro expansion trips bugprone checks
+# the test author cannot address.
+
+set -eu -o pipefail
+
+BUILD="${1:-build}"
+cd "$(dirname "$0")/.."
+
+if [ ! -f "$BUILD/compile_commands.json" ]; then
+    echo "run_clang_tidy: $BUILD/compile_commands.json not found;" \
+         "configure with CMake first" >&2
+    exit 2
+fi
+
+if ! command -v clang-tidy > /dev/null 2>&1; then
+    echo "run_clang_tidy: clang-tidy not installed" >&2
+    exit 2
+fi
+clang-tidy --version
+
+if command -v run-clang-tidy > /dev/null 2>&1; then
+    # Parallel runner from the clang-tools package.
+    run-clang-tidy -p "$BUILD" -quiet '(src|bench)/.*\.cc$'
+else
+    files="$(python3 - "$BUILD" <<'EOF'
+import json, sys
+entries = json.load(open(sys.argv[1] + "/compile_commands.json"))
+files = sorted({e["file"] for e in entries})
+print("\n".join(f for f in files if "/src/" in f or "/bench/" in f))
+EOF
+)"
+    # shellcheck disable=SC2086
+    clang-tidy -p "$BUILD" --quiet $files
+fi
+echo "clang-tidy gate passed"

@@ -1,0 +1,284 @@
+#include "check/checkers.hh"
+
+#include <algorithm>
+
+namespace oova::check
+{
+
+void
+checkFreeListStructure(const RegFileAudit &rf, Reporter &r)
+{
+    const size_t n = rf.regs.size();
+    std::vector<bool> listed(n, false);
+    for (int idx : rf.freeList) {
+        if (idx < 0 || static_cast<size_t>(idx) >= n) {
+            r.fail("%s free list holds out-of-range index %d "
+                   "(file size %zu)",
+                   rf.cls, idx, n);
+            continue;
+        }
+        if (listed[static_cast<size_t>(idx)]) {
+            r.fail("%s preg %d appears twice in the free list",
+                   rf.cls, idx);
+            continue;
+        }
+        listed[static_cast<size_t>(idx)] = true;
+    }
+    for (size_t i = 0; i < n; ++i) {
+        const RegAudit &p = rf.regs[i];
+        if (p.inFreeList != listed[i]) {
+            r.fail("%s preg %zu: inFreeList=%d but free-list "
+                   "membership=%d",
+                   rf.cls, i, static_cast<int>(p.inFreeList),
+                   static_cast<int>(listed[i]));
+        }
+        // Exactly one of free / claimed: a free register holds no
+        // claims, a register with no claims must be on the list.
+        if (p.inFreeList && p.refCount != 0) {
+            r.fail("%s preg %zu: on the free list with refCount=%d",
+                   rf.cls, i, p.refCount);
+        }
+        if (!p.inFreeList && p.refCount == 0) {
+            r.fail("%s preg %zu: refCount 0 but not on the free "
+                   "list (leaked register)",
+                   rf.cls, i);
+        }
+        if (p.refCount < 0) {
+            r.fail("%s preg %zu: negative refCount %d", rf.cls, i,
+                   p.refCount);
+        }
+        // A free register has no live subscribers: subscriptions die
+        // with the ROB entries / eliminations that held the claims.
+        if (p.inFreeList &&
+            (p.srcRefs != 0 || p.dstRefs != 0 || p.elimRefs != 0)) {
+            r.fail("%s preg %zu: free with live subscriptions "
+                   "(src=%lld dst=%lld elim=%lld)",
+                   rf.cls, i, static_cast<long long>(p.srcRefs),
+                   static_cast<long long>(p.dstRefs),
+                   static_cast<long long>(p.elimRefs));
+        }
+    }
+}
+
+void
+checkCountsMatch(const char *what, const char *cls,
+                 const std::vector<int64_t> &actual,
+                 const std::vector<int64_t> &expected, Reporter &r)
+{
+    if (actual.size() != expected.size()) {
+        r.fail("%s/%s: %zu registers audited against %zu expected",
+               cls, what, actual.size(), expected.size());
+        return;
+    }
+    for (size_t i = 0; i < actual.size(); ++i) {
+        if (actual[i] != expected[i]) {
+            r.fail("%s preg %zu: %s=%lld, ground truth %lld", cls, i,
+                   what, static_cast<long long>(actual[i]),
+                   static_cast<long long>(expected[i]));
+        }
+    }
+}
+
+void
+checkAgeOrdered(const char *what, const std::vector<SeqNum> &seqs,
+                Reporter &r)
+{
+    for (size_t i = 1; i < seqs.size(); ++i) {
+        if (seqs[i] <= seqs[i - 1]) {
+            r.fail("%s: seq %llu at position %zu not older than seq "
+                   "%llu before it",
+                   what, static_cast<unsigned long long>(seqs[i]), i,
+                   static_cast<unsigned long long>(seqs[i - 1]));
+        }
+    }
+}
+
+void
+checkScalarMatch(const char *what, uint64_t actual, uint64_t expected,
+                 Reporter &r)
+{
+    if (actual != expected) {
+        r.fail("%s=%llu, ground truth %llu", what,
+               static_cast<unsigned long long>(actual),
+               static_cast<unsigned long long>(expected));
+    }
+}
+
+void
+checkCalendarAgreement(Cycle calendarNext, Cycle scanNext,
+                       Reporter &r)
+{
+    if (calendarNext == scanNext)
+        return;
+    if (scanNext < calendarNext) {
+        r.fail("live state transition at cycle %llu earlier than "
+               "calendar minimum %llu",
+               static_cast<unsigned long long>(scanNext),
+               static_cast<unsigned long long>(calendarNext));
+    } else {
+        r.fail("calendar event at cycle %llu matches no live state "
+               "transition (next real: %llu)",
+               static_cast<unsigned long long>(calendarNext),
+               static_cast<unsigned long long>(scanNext));
+    }
+}
+
+void
+checkMemWindow(const MemAccess &acc, Cycle earliest, Reporter &r)
+{
+    if (acc.start < earliest) {
+        r.fail("stream address phase starts at %llu, before the "
+               "requested cycle %llu",
+               static_cast<unsigned long long>(acc.start),
+               static_cast<unsigned long long>(earliest));
+    }
+    if (acc.end < acc.start) {
+        r.fail("stream address phase runs backwards: [%llu, %llu)",
+               static_cast<unsigned long long>(acc.start),
+               static_cast<unsigned long long>(acc.end));
+    }
+    if (acc.firstData < acc.start) {
+        r.fail("first data at %llu precedes the address phase at "
+               "%llu",
+               static_cast<unsigned long long>(acc.firstData),
+               static_cast<unsigned long long>(acc.start));
+    }
+    if (acc.lastData < acc.firstData) {
+        r.fail("data window runs backwards: [%llu, %llu)",
+               static_cast<unsigned long long>(acc.firstData),
+               static_cast<unsigned long long>(acc.lastData));
+    }
+}
+
+void
+checkMemStatsBounds(const MemStats &s, Reporter &r)
+{
+    if (s.indexedConflicts > s.bankConflicts) {
+        r.fail("indexedConflicts=%llu exceeds bankConflicts=%llu",
+               static_cast<unsigned long long>(s.indexedConflicts),
+               static_cast<unsigned long long>(s.bankConflicts));
+    }
+    if (s.indexedConflictCycles > s.conflictCycles) {
+        r.fail("indexedConflictCycles=%llu exceeds "
+               "conflictCycles=%llu",
+               static_cast<unsigned long long>(
+                   s.indexedConflictCycles),
+               static_cast<unsigned long long>(s.conflictCycles));
+    }
+    if (s.tlbIndexedMisses > s.tlbMisses) {
+        r.fail("tlbIndexedMisses=%llu exceeds tlbMisses=%llu",
+               static_cast<unsigned long long>(s.tlbIndexedMisses),
+               static_cast<unsigned long long>(s.tlbMisses));
+    }
+}
+
+void
+checkMemStatsMonotone(const MemStats &prev, const MemStats &cur,
+                      Reporter &r)
+{
+    auto mono = [&](const char *what, uint64_t before,
+                    uint64_t after) {
+        if (after < before) {
+            r.fail("%s went backwards: %llu -> %llu", what,
+                   static_cast<unsigned long long>(before),
+                   static_cast<unsigned long long>(after));
+        }
+    };
+    mono("requests", prev.requests, cur.requests);
+    mono("bankConflicts", prev.bankConflicts, cur.bankConflicts);
+    mono("conflictCycles", prev.conflictCycles, cur.conflictCycles);
+    mono("indexedConflicts", prev.indexedConflicts,
+         cur.indexedConflicts);
+    mono("indexedConflictCycles", prev.indexedConflictCycles,
+         cur.indexedConflictCycles);
+    mono("cacheHits", prev.cacheHits, cur.cacheHits);
+    mono("cacheMisses", prev.cacheMisses, cur.cacheMisses);
+    mono("mshrStallCycles", prev.mshrStallCycles,
+         cur.mshrStallCycles);
+    mono("tlbHits", prev.tlbHits, cur.tlbHits);
+    mono("tlbMisses", prev.tlbMisses, cur.tlbMisses);
+    mono("tlbIndexedMisses", prev.tlbIndexedMisses,
+         cur.tlbIndexedMisses);
+    mono("tlbMissCycles", prev.tlbMissCycles, cur.tlbMissCycles);
+}
+
+namespace
+{
+
+void
+checkTlbLevel(const char *name, const TlbAuditView::Level &lvl,
+              uint64_t tick, Reporter &r)
+{
+    if (lvl.sets == 0 && lvl.assoc == 0 && lvl.ways.empty())
+        return; // level disabled
+    if (lvl.ways.size() !=
+        static_cast<size_t>(lvl.sets) * lvl.assoc) {
+        r.fail("TLB %s: %zu ways for %u sets x %u assoc", name,
+               lvl.ways.size(), lvl.sets, lvl.assoc);
+        return;
+    }
+    if (lvl.sets == 0) {
+        r.fail("TLB %s: zero sets with %zu ways", name,
+               lvl.ways.size());
+        return;
+    }
+    for (unsigned set = 0; set < lvl.sets; ++set) {
+        const TlbAuditView::Way *ways =
+            &lvl.ways[static_cast<size_t>(set) * lvl.assoc];
+        for (unsigned w = 0; w < lvl.assoc; ++w) {
+            if (!ways[w].valid)
+                continue;
+            if (ways[w].page % lvl.sets != set) {
+                r.fail("TLB %s: page %llu stored in set %u, indexes "
+                       "to set %llu",
+                       name,
+                       static_cast<unsigned long long>(ways[w].page),
+                       set,
+                       static_cast<unsigned long long>(ways[w].page %
+                                                       lvl.sets));
+            }
+            if (ways[w].lastUse > tick) {
+                r.fail("TLB %s: set %u way %u lastUse=%llu is in the "
+                       "future (tick=%llu)",
+                       name, set, w,
+                       static_cast<unsigned long long>(
+                           ways[w].lastUse),
+                       static_cast<unsigned long long>(tick));
+            }
+            for (unsigned w2 = w + 1; w2 < lvl.assoc; ++w2) {
+                if (ways[w2].valid && ways[w2].page == ways[w].page) {
+                    r.fail("TLB %s: page %llu duplicated in set %u "
+                           "(ways %u and %u)",
+                           name,
+                           static_cast<unsigned long long>(
+                               ways[w].page),
+                           set, w, w2);
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+
+void
+checkTlbSoundness(const TlbAuditView &v, Reporter &r)
+{
+    checkTlbLevel("L1", v.l1, v.tick, r);
+    checkTlbLevel("L2", v.l2, v.tick, r);
+    if (v.indexedMisses > v.misses) {
+        r.fail("TLB indexedMisses=%llu exceeds misses=%llu",
+               static_cast<unsigned long long>(v.indexedMisses),
+               static_cast<unsigned long long>(v.misses));
+    }
+    // Every lookup bumps the tick; install()'s resident-page probes
+    // bump it without counting a hit, so the sum is only bounded.
+    if (v.hits + v.misses > v.tick) {
+        r.fail("TLB hits+misses=%llu exceeds lookups performed "
+               "(tick=%llu)",
+               static_cast<unsigned long long>(v.hits + v.misses),
+               static_cast<unsigned long long>(v.tick));
+    }
+}
+
+} // namespace oova::check

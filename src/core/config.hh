@@ -73,6 +73,14 @@ struct OooConfig
     unsigned trapPenalty = 50;
 
     /**
+     * Invariant-audit level (src/check/): -1 inherits the OOVA_CHECK
+     * environment variable; 0/1/2 force off / retire+end / full.
+     * Checkers are observe-only, so the level never changes simulated
+     * timing, figure output, or the machine name.
+     */
+    int checkLevel = -1;
+
+    /**
      * The memory hierarchy behind the address path. The default
      * FlatBus reproduces the paper's single-bus fixed-latency model
      * exactly; see mem/memsystem.hh for the banked and cached

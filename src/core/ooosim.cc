@@ -1,8 +1,11 @@
 #include "core/ooosim.hh"
 
 #include <algorithm>
+#include <cstdio>
 #include <vector>
 
+#include "check/check.hh"
+#include "check/checkers.hh"
 #include "common/logging.hh"
 #include "common/slidingqueue.hh"
 #include "core/btb.hh"
@@ -136,6 +139,15 @@ class OooMachine
           mem_(makeMemorySystem(cfg.mem, cfg.lat.memLatency))
     {
         pipeStage_.fill(nullptr);
+        check::CheckLevel lvl =
+            cfg.checkLevel >= 0
+                ? static_cast<check::CheckLevel>(
+                      std::min(cfg.checkLevel, 2))
+                : check::levelFromEnv();
+        checkRetire_ = lvl >= check::CheckLevel::Retire;
+        checkFull_ = lvl >= check::CheckLevel::Full;
+        if (checkRetire_)
+            registerAuditCheckers();
     }
 
     SimResult run();
@@ -172,6 +184,15 @@ class OooMachine
     void takeTrap();
     void finish(Cycle c) { endCycle_ = std::max(endCycle_, c); }
     [[maybe_unused]] Cycle nextEventAfterScan() const;
+
+    // ---- invariant audit (src/check/, observe-only) ----
+    void registerAuditCheckers();
+    check::RegFileAudit auditRegFile(RegClass cls) const;
+    std::vector<int64_t> expectedRefCounts(RegClass cls) const;
+    void expectedSubscriptions(RegClass cls,
+                               std::vector<int64_t> &src,
+                               std::vector<int64_t> &dst,
+                               std::vector<int64_t> &elim) const;
 
     // ---- event calendar & wakeup network ----
     // The run loop skips idle stretches by jumping to the next cycle
@@ -440,6 +461,25 @@ class OooMachine
     Cycle now_ = 0;
     Cycle endCycle_ = 0;
     uint64_t committed_ = 0;
+
+    // ---- invariant audit (observe-only; see src/check/) ----
+    /** Level >= Retire: retire-site checks + end-of-run audit. */
+    bool checkRetire_ = false;
+    /** Level Full: adds per-event checks and periodic sweeps. */
+    bool checkFull_ = false;
+    check::Registry audit_;
+    /** Next kSiteWindow sweep cycle (level Full). */
+    Cycle nextAuditAt_ = 0;
+    /** Previous mem-stats snapshot for the monotonicity audit. */
+    MemStats prevMemStats_;
+    /**
+     * Claims permanently orphaned by the Dep-stage re-rename retry
+     * (see depStage): the retry overwrites the entry's oldPhys, so
+     * the claim the first rename parked there is never released.
+     * That leak is accepted seed behavior; the ledger lets the
+     * conservation checker account for it. Audit bookkeeping only.
+     */
+    std::vector<int64_t> orphanedClaims_[kNumRegClasses];
 
     // stats
     uint64_t mispredicts_ = 0;
@@ -793,8 +833,17 @@ OooMachine::depStage(RobEntry *e)
         // A Dep stage that stalled on a full V queue below retries
         // here and renames again (seed behavior); the previous
         // attempt's destination is no longer this entry's.
-        if (e->physDst >= 0 && e->dstCls != RegClass::None)
+        if (e->physDst >= 0 && e->dstCls != RegClass::None) {
             --renamer_.file(e->dstCls).reg(e->physDst).robDstRefs;
+            // The retry overwrites e->oldPhys below, so the claim
+            // the first rename parked there is never released. The
+            // audit ledger keeps refCount conservation checkable
+            // despite the leak.
+            if (checkRetire_ && e->oldPhys >= 0) {
+                ++orphanedClaims_[Renamer::clsIdx(e->dstCls)]
+                                 [static_cast<size_t>(e->oldPhys)];
+            }
+        }
         auto ren = renamer_.renameDst(di.dst);
         e->physDst = ren.physDst;
         e->oldPhys = ren.oldPhys;
@@ -1049,6 +1098,10 @@ OooMachine::memIssueStep()
                 ? mem_->reserve(now_, *elem_addrs, mop)
                 : mem_->reserve(now_, di.addr, di.strideBytes,
                                 di.memElems(), mop);
+        if (checkFull_) {
+            check::Reporter r = audit_.reporter("mem-window", now_);
+            check::checkMemWindow(acc, now_, r);
+        }
         e->memIssued = true;
         e->started = true;
         e->memDoneAt = acc.end;
@@ -1672,12 +1725,229 @@ OooMachine::nextEventAfterScan() const
     return best;
 }
 
+// ---------------------------------------------------------------
+// Invariant audit (src/check/): observe-only checkers over the
+// machine's conservation laws. Each checker recomputes its ground
+// truth from first principles (map tables, the live ROB, the
+// unresolved-elimination set) and compares it against the
+// incrementally-maintained counters the hot path relies on.
+// ---------------------------------------------------------------
+
+check::RegFileAudit
+OooMachine::auditRegFile(RegClass cls) const
+{
+    static const char *const kClsNames[kNumRegClasses] = {"A", "S",
+                                                          "V", "M"};
+    check::RegFileAudit rf;
+    rf.cls = kClsNames[Renamer::clsIdx(cls)];
+    const PhysRegFile &f = renamer_.file(cls);
+    rf.regs.reserve(f.size());
+    for (unsigned i = 0; i < f.size(); ++i) {
+        const PhysReg &p = f.reg(static_cast<int>(i));
+        rf.regs.push_back({p.refCount, p.inFreeList, p.robSrcRefs,
+                           p.robDstRefs, p.elimRefs});
+    }
+    for (int idx : f.freeList())
+        rf.freeList.push_back(idx);
+    return rf;
+}
+
+std::vector<int64_t>
+OooMachine::expectedRefCounts(RegClass cls) const
+{
+    const PhysRegFile &f = renamer_.file(cls);
+    std::vector<int64_t> exp(f.size(), 0);
+    // Claim 1: the map table — one per logical register currently
+    // mapped onto the physical register.
+    for (unsigned l = 0; l < numLogicalRegs(cls); ++l) {
+        int p = renamer_.mapOf(RegId(cls, static_cast<uint8_t>(l)));
+        if (p >= 0)
+            ++exp[static_cast<size_t>(p)];
+    }
+    // Claim 2: in-flight overwrites — every ROB entry holds its
+    // destination's previous mapping until commit releases it (or a
+    // squash rolls it back).
+    for (const RobEntry *e : rob_)
+        if (e->dstCls == cls && e->oldPhys >= 0)
+            ++exp[static_cast<size_t>(e->oldPhys)];
+    // Claim 3: unresolved scalar eliminations hold their copy source
+    // so it cannot be reallocated before the value is latched.
+    for (const RobEntry *e : elimWait_)
+        if (e->holdsCopyClaim && e->copySrcPhys >= 0 &&
+            e->di->dst.cls == cls)
+            ++exp[static_cast<size_t>(e->copySrcPhys)];
+    // Claim 4: claims permanently orphaned by Dep-stage re-rename
+    // retries (accepted seed leak; see depStage).
+    const auto &orphans = orphanedClaims_[Renamer::clsIdx(cls)];
+    for (size_t i = 0; i < orphans.size(); ++i)
+        exp[i] += orphans[i];
+    return exp;
+}
+
+void
+OooMachine::expectedSubscriptions(RegClass cls,
+                                  std::vector<int64_t> &src,
+                                  std::vector<int64_t> &dst,
+                                  std::vector<int64_t> &elim) const
+{
+    const PhysRegFile &f = renamer_.file(cls);
+    src.assign(f.size(), 0);
+    dst.assign(f.size(), 0);
+    elim.assign(f.size(), 0);
+    for (const RobEntry *e : rob_) {
+        for (unsigned i = 0; i < e->di->numSrc; ++i) {
+            const RegId &r = e->di->src[i];
+            if (r.valid() && r.cls == cls && e->physSrc[i] >= 0)
+                ++src[static_cast<size_t>(e->physSrc[i])];
+        }
+        if (e->dstCls == cls && e->physDst >= 0)
+            ++dst[static_cast<size_t>(e->physDst)];
+    }
+    for (const RobEntry *e : elimWait_)
+        if (e->copySrcPhys >= 0 && e->di->dst.cls == cls)
+            ++elim[static_cast<size_t>(e->copySrcPhys)];
+}
+
+void
+OooMachine::registerAuditCheckers()
+{
+    using check::RegAudit;
+    using check::RegFileAudit;
+    using check::Reporter;
+    constexpr uint8_t kSweep = check::kSiteWindow | check::kSiteEnd;
+
+    for (unsigned c = 0; c < kNumRegClasses; ++c) {
+        orphanedClaims_[c].assign(
+            renamer_.file(static_cast<RegClass>(c)).size(), 0);
+    }
+
+    // Every physical register is exactly one of free / mapped /
+    // pending-free, and the free list structurally mirrors the
+    // per-register flags.
+    audit_.add("preg-freelist", kSweep, [this](Reporter &r) {
+        for (unsigned c = 0; c < kNumRegClasses; ++c)
+            checkFreeListStructure(
+                auditRegFile(static_cast<RegClass>(c)), r);
+    });
+
+    // Reference-count conservation: refCount equals the claims the
+    // rest of the machine can account for.
+    audit_.add("preg-conservation", kSweep, [this](Reporter &r) {
+        for (unsigned c = 0; c < kNumRegClasses; ++c) {
+            RegClass cls = static_cast<RegClass>(c);
+            RegFileAudit rf = auditRegFile(cls);
+            std::vector<int64_t> actual;
+            actual.reserve(rf.regs.size());
+            for (const RegAudit &p : rf.regs)
+                actual.push_back(p.refCount);
+            checkCountsMatch("refCount", rf.cls, actual,
+                             expectedRefCounts(cls), r);
+        }
+    });
+
+    // Wakeup-subscription conservation, one checker per counter so a
+    // violation names its family. wakeup-dst-refs is the dedicated
+    // re-rename checker: a Dep stage that stalls on a full V queue
+    // renames the same destination again on retry and must drop the
+    // prior robDstRefs subscription first — a missed drop surfaces
+    // here as a count above the ground truth.
+    auto addSubChecker = [this](const char *id, const char *what,
+                                int kind) {
+        audit_.add(id, check::kSiteWindow | check::kSiteEnd,
+                   [this, what, kind](Reporter &r) {
+            for (unsigned c = 0; c < kNumRegClasses; ++c) {
+                RegClass cls = static_cast<RegClass>(c);
+                RegFileAudit rf = auditRegFile(cls);
+                std::vector<int64_t> src, dst, elim;
+                expectedSubscriptions(cls, src, dst, elim);
+                const std::vector<int64_t> &exp =
+                    kind == 0 ? src : kind == 1 ? dst : elim;
+                std::vector<int64_t> actual;
+                actual.reserve(rf.regs.size());
+                for (const RegAudit &p : rf.regs)
+                    actual.push_back(kind == 0   ? p.srcRefs
+                                     : kind == 1 ? p.dstRefs
+                                                 : p.elimRefs);
+                checkCountsMatch(what, rf.cls, actual, exp, r);
+            }
+        });
+    };
+    addSubChecker("wakeup-src-refs", "robSrcRefs", 0);
+    addSubChecker("wakeup-dst-refs", "robDstRefs", 1);
+    addSubChecker("wakeup-elim-refs", "elimRefs", 2);
+
+    // Age monotonicity of every in-flight queue. Cheap enough to run
+    // at retire too (memory disambiguation depends on the wait set
+    // staying age-sorted).
+    audit_.add("rob-age",
+               check::kSiteRetire | check::kSiteWindow |
+                   check::kSiteEnd,
+               [this](Reporter &r) {
+        std::vector<SeqNum> seqs;
+        auto auditSeqs = [&](const char *what,
+                             const auto &container) {
+            seqs.clear();
+            for (const RobEntry *e : container)
+                seqs.push_back(e->seq);
+            check::checkAgeOrdered(what, seqs, r);
+        };
+        auditSeqs("rob", rob_);
+        auditSeqs("pipe-fifo", pipeFifo_);
+        auditSeqs("wait-set", waitSet_);
+        auditSeqs("a-queue", aQueue_);
+        auditSeqs("s-queue", sQueue_);
+        auditSeqs("v-queue", vQueue_);
+        auditSeqs("elim-wait", elimWait_);
+        seqs.clear();
+        for (const Fetched &fe : fetchBuffer_)
+            seqs.push_back(fe.seq);
+        check::checkAgeOrdered("fetch-buffer", seqs, r);
+    });
+
+    // Memory-pipeline slot conservation: the structural counter the
+    // dispatch gate trusts equals the occupants it can account for
+    // (faulted entries keep their slot until the trap squash).
+    audit_.add("mem-slots", kSweep, [this](Reporter &r) {
+        uint64_t expected = pipeFifo_.size();
+        for (const RobEntry *e : pipeStage_)
+            if (e)
+                ++expected;
+        for (const RobEntry *e : waitSet_)
+            if (!e->memIssued)
+                ++expected;
+        check::checkScalarMatch("memSlotsUsed", memSlotsUsed_,
+                                expected, r);
+    });
+
+    // Memory-system counter containment and monotonicity.
+    audit_.add("mem-stats", kSweep, [this](Reporter &r) {
+        const MemStats &s = mem_->stats();
+        check::checkMemStatsBounds(s, r);
+        check::checkMemStatsMonotone(prevMemStats_, s, r);
+        prevMemStats_ = s;
+    });
+
+    // TLB structural soundness (set indexing, LRU timestamps,
+    // counter containment), when translation is enabled.
+    audit_.add("tlb-lru", kSweep, [this](Reporter &r) {
+        if (const Tlb *tlb = mem_->tlb())
+            check::checkTlbSoundness(tlb->auditView(), r);
+    });
+}
+
 SimResult
 OooMachine::run()
 {
     while (true) {
+        if (checkFull_ && now_ >= nextAuditAt_) {
+            audit_.runSite(check::kSiteWindow, now_);
+            nextAuditAt_ = now_ + check::kAuditWindow;
+        }
         bool progress = false;
-        progress |= commitStep() > 0;
+        unsigned retired = commitStep();
+        progress |= retired > 0;
+        if (checkRetire_ && retired > 0)
+            audit_.runSite(check::kSiteRetire, now_);
         resolveEliminated();
         cleanupWaitSet();
         progress |= memIssueStep();
@@ -1708,6 +1978,16 @@ OooMachine::run()
                        (unsigned long long)nextEventAfterScan(),
                        (unsigned long long)now_);
 #endif
+            if (checkFull_) {
+                // Generalizes the Debug-only assert above to every
+                // build type: no live state transition may precede
+                // the calendar minimum, and the minimum must be real.
+                check::Reporter r =
+                    audit_.reporter("calendar-bound", now_);
+                check::checkCalendarAgreement(next,
+                                              nextEventAfterScan(),
+                                              r);
+            }
             if (next == kNoCycle) {
                 std::string head = "-";
                 if (!rob_.empty()) {
@@ -1747,6 +2027,15 @@ OooMachine::run()
         }
     }
     finish(now_);
+
+    if (checkRetire_) {
+        // Final whole-state audit: with the ROB drained, every
+        // conservation law collapses to its quiescent form (all
+        // subscription counts zero, refCounts purely map-held).
+        audit_.runSite(check::kSiteEnd, endCycle_);
+        if (audit_.violationCount() > 0)
+            std::fputs(audit_.report().c_str(), stderr);
+    }
 
     SimResult res;
     res.program = trace_.name();

@@ -157,6 +157,13 @@ class PhysRegFile
     /** Invalidate all tags (used on trap recovery). */
     void invalidateAllTags();
 
+    /**
+     * The free list itself, in queue order, for the invariant audit
+     * (src/check/): the free-list-conservation checker cross-checks
+     * its contents against the per-register flags.
+     */
+    const SlidingQueue<int> &freeList() const { return freeList_; }
+
   private:
     std::vector<PhysReg> regs_;
     SlidingQueue<int> freeList_;

@@ -7,6 +7,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "check/check.hh"
 #include "common/logging.hh"
 
 namespace oova
@@ -199,7 +200,9 @@ runFigureMain(const std::string &name, int argc, char **argv)
                                      engine.threads())
                   : renderFigureText(*fig, result, traces.scale());
     std::fputs(out.c_str(), stdout);
-    return 0;
+    // Invariant-audit violations (observe-only, reported on stderr)
+    // turn the exit code red without touching the figure output.
+    return check::processExitCode();
 }
 
 } // namespace oova

@@ -1,5 +1,9 @@
 #include "mem/simresult.hh"
 
+#include <sstream>
+
+#include "common/logging.hh"
+
 namespace oova
 {
 
@@ -26,6 +30,87 @@ stallCauseName(StallCause cause)
     default:
         return "?";
     }
+}
+
+namespace
+{
+
+std::string
+jsonString(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        if (static_cast<unsigned char>(c) < 0x20)
+            out += csprintf("\\u%04x", c);
+        else
+            out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+std::string
+simResultJson(const SimResult &res)
+{
+    std::ostringstream os;
+    auto u64 = [&](const char *name, uint64_t v) {
+        os << "  \"" << name << "\": " << v << ",\n";
+    };
+    os << "{\n";
+    os << "  \"program\": " << jsonString(res.program) << ",\n";
+    os << "  \"machine\": " << jsonString(res.machine) << ",\n";
+    u64("cycles", res.cycles);
+    u64("instructions", res.instructions);
+    os << "  \"stateCycles\": {";
+    for (int s = 0; s < UnitStateBreakdown::kNumStates; ++s) {
+        if (s)
+            os << ", ";
+        os << jsonString(UnitStateBreakdown::stateName(s)) << ": "
+           << res.stateCycles[static_cast<size_t>(s)];
+    }
+    os << "},\n";
+    u64("fu1BusyCycles", res.fu1BusyCycles);
+    u64("fu2BusyCycles", res.fu2BusyCycles);
+    u64("memBusyCycles", res.memBusyCycles);
+    u64("memRequests", res.memRequests);
+    u64("memBankConflicts", res.memBankConflicts);
+    u64("memConflictCycles", res.memConflictCycles);
+    u64("memIndexedConflicts", res.memIndexedConflicts);
+    u64("memIndexedConflictCycles", res.memIndexedConflictCycles);
+    u64("cacheHits", res.cacheHits);
+    u64("cacheMisses", res.cacheMisses);
+    u64("mshrStallCycles", res.mshrStallCycles);
+    u64("tlbHits", res.tlbHits);
+    u64("tlbMisses", res.tlbMisses);
+    u64("tlbIndexedMisses", res.tlbIndexedMisses);
+    u64("tlbMissCycles", res.tlbMissCycles);
+    u64("vectorLoadsEliminated", res.vectorLoadsEliminated);
+    u64("scalarLoadsEliminated", res.scalarLoadsEliminated);
+    u64("branchMispredicts", res.branchMispredicts);
+    u64("renameStallCycles", res.renameStallCycles);
+    u64("robStallCycles", res.robStallCycles);
+    u64("queueStallCycles", res.queueStallCycles);
+    u64("traps", res.traps);
+    os << "  \"stallCycles\": {";
+    for (unsigned c = 0; c < kNumStallCauses; ++c) {
+        if (c)
+            os << ", ";
+        os << jsonString(stallCauseName(static_cast<StallCause>(c)))
+           << ": " << res.stallCycles[c];
+    }
+    os << "},\n";
+    // Derived accessors, so consumers need not re-implement them.
+    os << csprintf("  \"portIdleFraction\": %.6f,\n",
+                   res.portIdleFraction());
+    u64("memStridedConflicts", res.memStridedConflicts());
+    u64("stridedTlbMisses", res.stridedTlbMisses());
+    os << csprintf("  \"ipc\": %.6f\n", res.ipc());
+    os << "}\n";
+    return os.str();
 }
 
 } // namespace oova

@@ -117,6 +117,15 @@ struct SimResult
     }
 };
 
+/**
+ * Render every SimResult field (including the derived accessors) as
+ * one JSON object. The scripts/lint_oova.py gate parses the struct
+ * and fails if a field is added here without being surfaced there,
+ * so new counters cannot silently dodge the machine-readable
+ * output.
+ */
+std::string simResultJson(const SimResult &res);
+
 } // namespace oova
 
 #endif // OOVA_MEM_SIMRESULT_HH

@@ -192,6 +192,29 @@ Tlb::translate(const std::vector<Addr> &pages, bool indexed)
     return delay;
 }
 
+TlbAuditView
+Tlb::auditView() const
+{
+    auto snap = [](const Level &lvl) {
+        TlbAuditView::Level out;
+        out.sets = lvl.sets;
+        out.assoc = lvl.assoc;
+        out.ways.reserve(lvl.ways.size());
+        for (const Entry &e : lvl.ways)
+            out.ways.push_back({e.valid, e.page, e.lastUse});
+        return out;
+    };
+    TlbAuditView v;
+    v.l1 = snap(l1_);
+    v.l2 = snap(l2_);
+    v.tick = tick_;
+    v.hits = hits_;
+    v.misses = misses_;
+    v.indexedMisses = indexedMisses_;
+    v.missCycles = missCycles_;
+    return v;
+}
+
 bool
 Tlb::wouldMiss(const std::vector<Addr> &pages) const
 {

@@ -53,6 +53,40 @@ namespace oova
 
 class MemorySystem;
 
+/**
+ * Plain-data snapshot of a TLB's translation arrays and counters for
+ * the invariant audit (src/check/): geometry, per-way contents and
+ * the LRU/stat state, with no back-pointers into the live structure,
+ * so the checker logic can be exercised on hand-built (corrupted)
+ * views in tests.
+ */
+struct TlbAuditView
+{
+    struct Way
+    {
+        bool valid = false;
+        Addr page = 0;
+        uint64_t lastUse = 0;
+    };
+
+    struct Level
+    {
+        unsigned sets = 0;
+        unsigned assoc = 0;
+        /** sets * assoc entries, set-major (set i at [i*assoc, ...)). */
+        std::vector<Way> ways;
+    };
+
+    Level l1;
+    Level l2;
+
+    uint64_t tick = 0; ///< LRU timestamp source == lookups performed
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t indexedMisses = 0;
+    uint64_t missCycles = 0;
+};
+
 /** How a TLB miss is refilled. */
 enum class TlbRefill : uint8_t
 {
@@ -170,6 +204,9 @@ class Tlb
     uint64_t misses() const { return misses_; }
     uint64_t indexedMisses() const { return indexedMisses_; }
     uint64_t missCycles() const { return missCycles_; }
+
+    /** Snapshot for the invariant audit (see TlbAuditView). */
+    TlbAuditView auditView() const;
 
   private:
     struct Entry

@@ -4,8 +4,11 @@
 #include <array>
 #include <vector>
 
+#include "check/check.hh"
+#include "check/checkers.hh"
 #include "common/logging.hh"
 #include "mem/memsystem.hh"
+#include "mem/tlb.hh"
 
 namespace oova
 {
@@ -36,6 +39,13 @@ class RefMachine
         for (auto &bank : readPortFree_)
             bank.fill(0);
         writePortFree_.fill(0);
+        check::CheckLevel lvl =
+            cfg.checkLevel >= 0
+                ? static_cast<check::CheckLevel>(
+                      std::min(cfg.checkLevel, 2))
+                : check::levelFromEnv();
+        checkRetire_ = lvl >= check::CheckLevel::Retire;
+        checkFull_ = lvl >= check::CheckLevel::Full;
     }
 
     SimResult run();
@@ -44,6 +54,16 @@ class RefMachine
     Cycle &scalarReady(const RegId &r);
     Cycle vSrcAvail(const RegId &r, bool reader_is_store) const;
     void finish(Cycle c) { endCycle_ = std::max(endCycle_, c); }
+
+    /** Level Full: audit every granted memory window (observe-only). */
+    void
+    auditAccess(const MemAccess &a, Cycle earliest)
+    {
+        if (!checkFull_)
+            return;
+        check::Reporter r = audit_.reporter("mem-window", earliest);
+        check::checkMemWindow(a, earliest, r);
+    }
 
     // Port constraint helpers (banked file: regs 2b and 2b+1 share
     // two read ports and one write port).
@@ -95,6 +115,11 @@ class RefMachine
     Cycle nextIssue_ = 0;
     Cycle endCycle_ = 0;
     std::array<uint64_t, kNumStallCauses> stallCycles_{};
+
+    // ---- invariant audit (observe-only; see src/check/) ----
+    bool checkRetire_ = false;
+    bool checkFull_ = false;
+    check::Registry audit_;
 };
 
 Cycle &
@@ -301,12 +326,17 @@ RefMachine::run()
             // addresses (the whole index vector is available at
             // issue), so bank conflicts follow the actual pattern.
             auto reserveStream = [&](Cycle at) {
+                MemAccess a;
                 if (inst.isIndexedMem()) {
                     indexedElemAddrs(inst, idxScratch_);
-                    return mem_->reserve(at, idxScratch_, mop);
+                    a = mem_->reserve(at, idxScratch_, mop);
+                } else {
+                    a = mem_->reserve(at, inst.addr,
+                                      inst.strideBytes, inst.vl,
+                                      mop);
                 }
-                return mem_->reserve(at, inst.addr, inst.strideBytes,
-                                     inst.vl, mop);
+                auditAccess(a, at);
+                return a;
             };
             if (inst.isLoad()) {
                 if (inst.dst.cls == RegClass::V)
@@ -342,6 +372,7 @@ RefMachine::run()
                 MemAccess a = mem_->reserve(t, inst.addr,
                                             inst.elemSize, 1,
                                             MemOp::Load);
+                auditAccess(a, t);
                 Cycle ready = a.firstData + lat_.writeXbarScalar;
                 scalarReady(inst.dst) = ready;
                 finish(ready);
@@ -349,6 +380,7 @@ RefMachine::run()
                 MemAccess a = mem_->reserve(t, inst.addr,
                                             inst.elemSize, 1,
                                             MemOp::Store);
+                auditAccess(a, t);
                 finish(a.start + 1);
             }
         } else if (inst.isBranch()) {
@@ -378,6 +410,19 @@ RefMachine::run()
         }
         nextIssue_ = std::max(nextIssue_, ip.t + 1);
         finish(ip.t + 1);
+    }
+
+    // End-of-run audit: memory-counter containment and TLB
+    // structural soundness. Observe-only; violations go to stderr
+    // and the process-wide tally (check::processExitCode()).
+    if (checkRetire_) {
+        check::Reporter r = audit_.reporter("mem-stats", endCycle_);
+        check::checkMemStatsBounds(mem_->stats(), r);
+        if (const Tlb *tlb = mem_->tlb()) {
+            check::Reporter tr2 = audit_.reporter("tlb-lru",
+                                                  endCycle_);
+            check::checkTlbSoundness(tlb->auditView(), tr2);
+        }
     }
 
     SimResult res;

@@ -58,6 +58,14 @@ struct RefConfig
     unsigned takenBranchPenalty = 3;
 
     /**
+     * Invariant-audit level (src/check/), mirroring
+     * OooConfig::checkLevel: -1 inherits OOVA_CHECK; 0/1/2 force.
+     * REF audits its memory system and TLB; checkers are
+     * observe-only and never change simulated timing.
+     */
+    int checkLevel = -1;
+
+    /**
      * The memory hierarchy (default: the paper's flat address bus;
      * see mem/memsystem.hh). Non-default models are reflected in the
      * result's machine label, e.g. "REF/mb8p1".

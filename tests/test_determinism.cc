@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include "check/check.hh"
 #include "core/ooosim.hh"
 #include "harness/experiment.hh"
 #include "harness/sweep.hh"
@@ -135,4 +136,31 @@ TEST(DeterminismDeathTest, DeadlockPanicsWithDiagnostics)
     OooConfig cfg;
     cfg.queueSize = 0;
     EXPECT_DEATH(simulateOoo(t, cfg), "OOOVA deadlock at cycle");
+}
+
+TEST(Determinism, InvariantAuditIsObserveOnly)
+{
+    // The full audit (OOVA_CHECK=2 equivalent) recomputes every
+    // conservation law alongside the run; it must neither perturb a
+    // single result field nor find a violation on any sweep config.
+    check::resetProcessViolations();
+    Workloads w(kScale);
+    for (auto cfg : sweepConfigs()) {
+        for (const char *prog : {"hydro2d", "nasa7"}) {
+            const Trace &t = w.get(prog);
+            cfg.checkLevel = 0;
+            SimResult off = simulateOoo(t, cfg);
+            cfg.checkLevel = 2;
+            SimResult on = simulateOoo(t, cfg);
+            expectSameResult(off, on);
+        }
+    }
+    RefConfig rc;
+    rc.checkLevel = 0;
+    SimResult ref_off = simulateRef(w.get("hydro2d"), rc);
+    rc.checkLevel = 2;
+    SimResult ref_on = simulateRef(w.get("hydro2d"), rc);
+    expectSameResult(ref_off, ref_on);
+    EXPECT_EQ(check::processViolationCount(), 0u);
+    check::resetProcessViolations();
 }

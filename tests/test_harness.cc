@@ -368,3 +368,46 @@ TEST(FigureRegistry, FigureOutputIdenticalAcrossThreadCounts)
     EXPECT_EQ(a, b);
     EXPECT_NE(a.find("== Figure 6"), std::string::npos);
 }
+
+TEST(SimResultJsonTest, SurfacesEveryCounter)
+{
+    SimResult res;
+    res.program = "swm\"256";
+    res.machine = "OOOVA-16";
+    res.cycles = 1234;
+    res.instructions = 617;
+    res.memBusyCycles = 600;
+    res.memRequests = 17;
+    res.tlbMisses = 4;
+    res.tlbIndexedMisses = 3;
+    res.vectorLoadsEliminated = 5;
+    res.stallCycles[static_cast<unsigned>(StallCause::Ports)] = 9;
+    res.stateCycles[0] = 11;
+
+    std::string js = simResultJson(res);
+    // Structure: one object, quoted string values escaped.
+    EXPECT_EQ(js.front(), '{');
+    EXPECT_EQ(js.substr(js.size() - 2), "}\n");
+    EXPECT_NE(js.find("\"program\": \"swm\\\"256\""),
+              std::string::npos);
+    EXPECT_NE(js.find("\"machine\": \"OOOVA-16\""),
+              std::string::npos);
+    // Plain counters, including ones left at zero.
+    EXPECT_NE(js.find("\"cycles\": 1234"), std::string::npos);
+    EXPECT_NE(js.find("\"instructions\": 617"), std::string::npos);
+    EXPECT_NE(js.find("\"memRequests\": 17"), std::string::npos);
+    EXPECT_NE(js.find("\"tlbIndexedMisses\": 3"), std::string::npos);
+    EXPECT_NE(js.find("\"vectorLoadsEliminated\": 5"),
+              std::string::npos);
+    EXPECT_NE(js.find("\"traps\": 0"), std::string::npos);
+    // Keyed breakdowns use their human-readable names.
+    EXPECT_NE(js.find("\"stallCycles\""), std::string::npos);
+    EXPECT_NE(js.find("\"ports\": 9"), std::string::npos);
+    EXPECT_NE(js.find("\"stateCycles\""), std::string::npos);
+    // Derived accessors are precomputed for consumers.
+    EXPECT_NE(js.find("\"ipc\": 0.5"), std::string::npos);
+    EXPECT_NE(js.find("\"portIdleFraction\""), std::string::npos);
+    EXPECT_NE(js.find("\"memStridedConflicts\": 0"),
+              std::string::npos);
+    EXPECT_NE(js.find("\"stridedTlbMisses\": 1"), std::string::npos);
+}
