@@ -1,0 +1,15 @@
+/**
+ * @file
+ * CPI stack: top-down cycle accounting for REF and two OOOVA
+ * configurations across the ten benchmarks. Every cycle is charged
+ * to exactly one bucket; the cpi-conservation checker enforces that
+ * the buckets sum to the run's cycle count.
+ */
+
+#include "harness/figure.hh"
+
+int
+main(int argc, char **argv)
+{
+    return oova::runFigureMain("cpistack", argc, argv);
+}

@@ -6,18 +6,30 @@
  *   oova_bench --list
  *   oova_bench fig5 --threads 8
  *   oova_bench all --json > BENCH_all.json
+ *   oova_bench hydro2d --pipetrace=hydro2d.pipeview
  *
  * Trace scale comes from OOVA_SCALE or --scale; --json emits the
  * machine-readable result tables used to track the perf trajectory
- * across PRs.
+ * across PRs, each wrapped in a run-manifest envelope. With
+ * --pipetrace=FILE the positional name selects a benchmark instead
+ * of a figure: one OOOVA run is traced per instruction and written
+ * in O3PipeView format, which Konata renders as a pipeline
+ * waterfall.
  */
 
+#include <cctype>
+#include <chrono>
+#include <cstddef>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include "check/check.hh"
+#include "common/pipetrace.hh"
+#include "core/ooosim.hh"
+#include "harness/experiment.hh"
 #include "harness/figure.hh"
 
 using namespace oova;
@@ -30,8 +42,10 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s <figure>|all|--list [--threads N] "
-                 "[--json] [--scale S]\n",
-                 argv0);
+                 "[--json] [--progress] [--scale S]\n"
+                 "       %s <benchmark> --pipetrace=FILE "
+                 "[--trace-limit=N] [--scale S]\n",
+                 argv0, argv0);
     std::fprintf(stderr, "figures:\n");
     for (const auto &fig : figureRegistry())
         std::fprintf(stderr, "  %-8s  %s\n", fig.name, fig.title);
@@ -45,12 +59,53 @@ list()
         std::printf("%-8s  %s\n", fig.name, fig.title);
 }
 
+/** Run one traced OOOVA simulation and write the Konata file. */
+int
+runPipetrace(const std::string &bench, const std::string &path,
+             size_t limit, double scale)
+{
+    TraceCache traces(scale);
+    const std::vector<std::string> &names = traces.names();
+    bool known = false;
+    for (const auto &name : names)
+        known = known || name == bench;
+    if (!known) {
+        std::fprintf(stderr, "unknown benchmark '%s'; choose from:",
+                     bench.c_str());
+        for (const auto &name : names)
+            std::fprintf(stderr, " %s", name.c_str());
+        std::fprintf(stderr, "\n");
+        return 2;
+    }
+
+    PipeTracer tracer(limit);
+    OooConfig cfg = makeOooConfig();
+    cfg.pipeTracer = &tracer;
+    SimResult res = simulateOoo(traces.get(bench), cfg);
+    tracer.finish();
+    if (!tracer.write(path)) {
+        std::fprintf(stderr, "cannot write '%s'\n", path.c_str());
+        return 1;
+    }
+    std::fprintf(stderr,
+                 "%s: traced %llu of %llu instructions over %llu "
+                 "cycles -> %s (load into Konata)\n",
+                 bench.c_str(),
+                 static_cast<unsigned long long>(tracer.recorded()),
+                 static_cast<unsigned long long>(res.instructions),
+                 static_cast<unsigned long long>(res.cycles),
+                 path.c_str());
+    return check::processExitCode();
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     std::string which;
+    std::string pipetracePath;
+    size_t traceLimit = PipeTracer::kDefaultLimit;
     FigureOptions opts;
     opts.scale = envTraceScale();
 
@@ -64,6 +119,24 @@ main(int argc, char **argv)
         if (std::strcmp(arg, "--list") == 0) {
             list();
             return 0;
+        } else if (std::strncmp(arg, "--pipetrace=", 12) == 0) {
+            pipetracePath = arg + 12;
+            if (pipetracePath.empty()) {
+                std::fprintf(stderr,
+                             "--pipetrace needs a file name\n");
+                return 2;
+            }
+        } else if (std::strncmp(arg, "--trace-limit=", 14) == 0) {
+            const char *val = arg + 14;
+            char *end = nullptr;
+            unsigned long long n = std::strtoull(val, &end, 10);
+            if (!std::isdigit(static_cast<unsigned char>(val[0])) ||
+                end == val || *end != '\0' || n == 0) {
+                std::fprintf(stderr, "bad --trace-limit '%s'\n",
+                             val);
+                return 2;
+            }
+            traceLimit = static_cast<size_t>(n);
         } else if (arg[0] == '-') {
             return usage(argv[0]);
         } else if (which.empty()) {
@@ -74,6 +147,10 @@ main(int argc, char **argv)
     }
     if (which.empty())
         return usage(argv[0]);
+
+    if (!pipetracePath.empty())
+        return runPipetrace(which, pipetracePath, traceLimit,
+                            opts.scale);
 
     std::vector<const FigureDef *> figs;
     if (which == "all") {
@@ -93,16 +170,37 @@ main(int argc, char **argv)
     // generates each trace once.
     TraceCache traces(opts.scale);
     SweepEngine engine(traces, opts.threads);
+    if (opts.progress)
+        installProgressMeter(engine);
+    if (opts.json)
+        engine.enableManifest();
 
     if (opts.json)
         std::printf("[\n");
     for (size_t i = 0; i < figs.size(); ++i) {
+        // The engine's manifest accumulates across figures; this
+        // figure's jobs are the records added while it ran.
+        size_t firstJob = engine.manifest().size();
+        auto t0 = std::chrono::steady_clock::now();
         FigureResult result = figs[i]->fn(engine);
-        std::string out =
-            opts.json
-                ? renderFigureJson(*figs[i], result, traces.scale(),
-                                   engine.threads())
-                : renderFigureText(*figs[i], result, traces.scale());
+        std::string out;
+        if (opts.json) {
+            RunManifest manifest;
+            manifest.scale = traces.scale();
+            manifest.threads = engine.threads();
+            manifest.wallMs =
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+            manifest.jobs.assign(
+                engine.manifest().begin() +
+                    static_cast<std::ptrdiff_t>(firstJob),
+                engine.manifest().end());
+            out = renderFigureJson(*figs[i], result, traces.scale(),
+                                   engine.threads(), &manifest);
+        } else {
+            out = renderFigureText(*figs[i], result, traces.scale());
+        }
         std::fputs(out.c_str(), stdout);
         if (opts.json && i + 1 < figs.size())
             std::printf(",\n");

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Project-specific lint gate.
 
-Four repo invariants that neither the compiler nor clang-tidy can
+Five repo invariants that neither the compiler nor clang-tidy can
 see, each of which has bitten (or nearly bitten) a past PR:
 
   1. Every registered figure has a checked-in golden
@@ -15,6 +15,10 @@ see, each of which has bitten (or nearly bitten) a past PR:
   4. No naked new/delete outside the dedicated storage code: the
      simulator's hot-path storage is slab/sliding-queue based, and
      ad-hoc ownership has no place next to it.
+  5. Every CpiBucket enum entry has a cpiBucketName() label (which
+     simResultJson() surfaces) and a row in the README's CPI-bucket
+     table, and vice versa — a bucket nobody can read about or parse
+     out of the JSON is dead observability.
 
 Exit code: 0 clean, 1 violations (each printed as "LINT: ...").
 """
@@ -157,8 +161,68 @@ for sub in ("src", "bench", "examples"):
                 err(f"{rel}:{lineno}: naked new/delete — use the "
                     "slab, a container, or a smart pointer")
 
+# ---------------------------------------------------------------
+# Rule 5: CpiBucket enum <-> cpiBucketName() labels <-> README
+# bucket table, all three in sync, both directions.
+# ---------------------------------------------------------------
+
+def cpi_enum_entries() -> list:
+    """CpiBucket enumerators (minus the NumBuckets sentinel)."""
+    src = (ROOT / "src/mem/simresult.hh").read_text()
+    m = re.search(r"enum class CpiBucket[^{]*\{(.*?)\}", src, re.S)
+    if not m:
+        err("enum class CpiBucket not found in src/mem/simresult.hh")
+        return []
+    body = re.sub(r"//[^\n]*", "", m.group(1))
+    entries = re.findall(r"\b([A-Z]\w*)\b", body)
+    return [e for e in entries if e != "NumBuckets"]
+
+
+def cpi_name_labels() -> dict:
+    """Enumerator -> label string, from cpiBucketName()'s switch."""
+    src = (ROOT / "src/mem/simresult.cc").read_text()
+    m = re.search(r"cpiBucketName\(.*?\n\}", src, re.S)
+    if not m:
+        err("cpiBucketName() not found in src/mem/simresult.cc")
+        return {}
+    return dict(re.findall(
+        r'case CpiBucket::(\w+):\s*return "([a-z-]+)"', m.group(0)))
+
+
+def readme_bucket_labels() -> list:
+    """Bucket labels from the README's CPI-bucket table."""
+    text = (ROOT / "README.md").read_text()
+    m = re.search(r"### CPI buckets\n(.*?)(?:\n#|\Z)", text, re.S)
+    if not m:
+        err("README.md has no '### CPI buckets' section")
+        return []
+    return re.findall(r"^\| `([a-z-]+)` \|", m.group(1), re.M)
+
+
+cpi_entries = cpi_enum_entries()
+cpi_labels = cpi_name_labels()
+readme_labels = readme_bucket_labels()
+
+for entry in cpi_entries:
+    if entry not in cpi_labels:
+        err(f"CpiBucket::{entry} has no label in cpiBucketName() "
+            "(src/mem/simresult.cc)")
+for entry in cpi_labels:
+    if entry not in cpi_entries:
+        err(f"cpiBucketName() labels unknown bucket "
+            f"CpiBucket::{entry}")
+for entry, label in sorted(cpi_labels.items()):
+    if label not in readme_labels:
+        err(f"CPI bucket '{label}' (CpiBucket::{entry}) missing "
+            "from the README's '### CPI buckets' table")
+for label in readme_labels:
+    if label not in cpi_labels.values():
+        err(f"README CPI-bucket table row '{label}' matches no "
+            "cpiBucketName() label")
+
 if errors:
     print(f"lint_oova: {len(errors)} violation(s)")
     sys.exit(1)
 print("lint_oova: all checks passed "
-      f"({len(figures)} figures, {len(fields)} SimResult fields)")
+      f"({len(figures)} figures, {len(fields)} SimResult fields, "
+      f"{len(cpi_entries)} CPI buckets)")

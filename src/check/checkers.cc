@@ -281,4 +281,24 @@ checkTlbSoundness(const TlbAuditView &v, Reporter &r)
     }
 }
 
+void
+checkCpiConservation(
+    Cycle cycles, const std::array<uint64_t, kNumCpiBuckets> &buckets,
+    Reporter &r)
+{
+    uint64_t sum = 0;
+    for (uint64_t b : buckets)
+        sum += b;
+    if (sum != cycles) {
+        r.fail("CPI stack sums to %llu, run took %llu cycles "
+               "(%s by %lld)",
+               static_cast<unsigned long long>(sum),
+               static_cast<unsigned long long>(cycles),
+               sum < cycles ? "unattributed" : "overcharged",
+               static_cast<long long>(
+                   static_cast<int64_t>(cycles) -
+                   static_cast<int64_t>(sum)));
+    }
+}
+
 } // namespace oova::check

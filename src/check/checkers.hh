@@ -22,6 +22,7 @@
 #include "check/check.hh"
 #include "common/types.hh"
 #include "mem/memsystem.hh"
+#include "mem/simresult.hh"
 #include "mem/tlb.hh"
 
 namespace oova::check
@@ -124,6 +125,18 @@ void checkMemStatsMonotone(const MemStats &prev, const MemStats &cur,
  * hits + misses <= lookups).
  */
 void checkTlbSoundness(const TlbAuditView &v, Reporter &r);
+
+// ------------------------------------------------ cycle accounting
+
+/**
+ * CPI-stack conservation: with cycle accounting enabled, every cycle
+ * of the run is charged to exactly one bucket, so the buckets must
+ * sum exactly to @p cycles — an attribution gap or double charge is
+ * an accounting bug, not a rounding error.
+ */
+void checkCpiConservation(
+    Cycle cycles,
+    const std::array<uint64_t, kNumCpiBuckets> &buckets, Reporter &r);
 
 } // namespace oova::check
 

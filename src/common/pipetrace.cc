@@ -1,0 +1,161 @@
+#include "common/pipetrace.hh"
+
+#include <fstream>
+
+#include "common/logging.hh"
+#include "isa/instruction.hh"
+
+namespace oova
+{
+
+namespace
+{
+
+/**
+ * O3PipeView ticks. gem5 emits picosecond ticks at a 1GHz-ish
+ * clock; Konata only needs the stage ticks to share one scale, so a
+ * fixed 1000 ticks/cycle keeps the files grep-able in cycles.
+ */
+constexpr uint64_t kTicksPerCycle = 1000;
+
+uint64_t
+tick(Cycle c)
+{
+    return c == kNoCycle ? 0 : c * kTicksPerCycle;
+}
+
+/** The disasm field is colon-delimited; sanitize just in case. */
+std::string
+sanitize(std::string s)
+{
+    for (char &c : s) {
+        if (c == ':' || c == '\n')
+            c = ';';
+    }
+    return s;
+}
+
+} // namespace
+
+PipeTracer::PipeTracer(size_t limit, size_t window) : limit_(limit)
+{
+    ring_.resize(window ? window : 1);
+    out_.reserve(4096);
+}
+
+uint32_t
+PipeTracer::fetch(const DynInst *di, uint64_t seq, Cycle c)
+{
+    if (nextRec_ >= limit_)
+        return kNoTraceRec;
+    if (nextRec_ - flushed_ == ring_.size())
+        flush(ring_[flushed_++ % ring_.size()]);
+    uint32_t rec = static_cast<uint32_t>(nextRec_++);
+    Rec &r = ring_[rec % ring_.size()];
+    r = Rec{};
+    r.di = di;
+    r.seq = seq;
+    r.fetch = c;
+    return rec;
+}
+
+PipeTracer::Rec *
+PipeTracer::slot(uint32_t rec)
+{
+    if (rec == kNoTraceRec || rec < flushed_)
+        return nullptr;
+    return &ring_[rec % ring_.size()];
+}
+
+void
+PipeTracer::rename(uint32_t rec, Cycle c)
+{
+    if (Rec *r = slot(rec))
+        r->rename = c;
+}
+
+void
+PipeTracer::dispatch(uint32_t rec, Cycle c)
+{
+    if (Rec *r = slot(rec))
+        r->dispatch = c;
+}
+
+void
+PipeTracer::issue(uint32_t rec, Cycle c)
+{
+    if (Rec *r = slot(rec))
+        r->issue = c;
+}
+
+void
+PipeTracer::complete(uint32_t rec, Cycle c)
+{
+    if (Rec *r = slot(rec))
+        r->complete = c;
+}
+
+void
+PipeTracer::retire(uint32_t rec, Cycle c)
+{
+    if (Rec *r = slot(rec))
+        r->retire = c;
+}
+
+void
+PipeTracer::squash(uint32_t rec, Cycle)
+{
+    if (Rec *r = slot(rec))
+        r->squashed = true;
+}
+
+void
+PipeTracer::flush(const Rec &r)
+{
+    // One record, gem5 O3PipeView framing: the fetch line carries
+    // identity (pc, sequence number, disasm), each further line one
+    // stage tick (0 = never reached), and the retire line closes the
+    // record. A squashed instruction retires at tick 0, which is how
+    // Konata renders the kill.
+    out_ += csprintf(
+        "O3PipeView:fetch:%llu:0x%08llx:0:%llu:%s\n",
+        static_cast<unsigned long long>(tick(r.fetch)),
+        static_cast<unsigned long long>(r.di ? r.di->pc : 0),
+        static_cast<unsigned long long>(r.seq),
+        sanitize(r.di ? r.di->toString() : "?").c_str());
+    out_ += csprintf("O3PipeView:decode:%llu\n",
+                     static_cast<unsigned long long>(tick(r.rename)));
+    out_ += csprintf("O3PipeView:rename:%llu\n",
+                     static_cast<unsigned long long>(tick(r.rename)));
+    out_ += csprintf(
+        "O3PipeView:dispatch:%llu\n",
+        static_cast<unsigned long long>(tick(r.dispatch)));
+    out_ += csprintf("O3PipeView:issue:%llu\n",
+                     static_cast<unsigned long long>(tick(r.issue)));
+    out_ += csprintf(
+        "O3PipeView:complete:%llu\n",
+        static_cast<unsigned long long>(tick(r.complete)));
+    out_ += csprintf(
+        "O3PipeView:retire:%llu:store:0\n",
+        static_cast<unsigned long long>(
+            r.squashed ? 0 : tick(r.retire)));
+}
+
+void
+PipeTracer::finish()
+{
+    while (flushed_ < nextRec_)
+        flush(ring_[flushed_++ % ring_.size()]);
+}
+
+bool
+PipeTracer::write(const std::string &path) const
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        return false;
+    os << out_;
+    return static_cast<bool>(os);
+}
+
+} // namespace oova

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Instruction-lifecycle tracer for the OOOVA pipeline, emitting the
+ * O3PipeView text format that Konata (and gem5's o3-pipeview script)
+ * render as a per-instruction waterfall.
+ *
+ * Recording is allocation-free after construction: timestamps land
+ * in a preallocated ring of records, and text formatting happens
+ * only when a record is flushed (ring wrap or finish()). The tracer
+ * is observe-only — attaching one never changes simulated timing —
+ * and the simulator pays nothing when no tracer is configured (a
+ * single null check per stage hook).
+ */
+
+#ifndef OOVA_COMMON_PIPETRACE_HH
+#define OOVA_COMMON_PIPETRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace oova
+{
+
+struct DynInst;
+
+/** Sentinel record handle: instruction not traced. */
+constexpr uint32_t kNoTraceRec = 0xffffffffu;
+
+class PipeTracer
+{
+  public:
+    /** Default cap on traced instructions (keeps files viewable). */
+    static constexpr size_t kDefaultLimit = 50000;
+    /** Default ring capacity (must exceed max in-flight count). */
+    static constexpr size_t kDefaultWindow = 4096;
+
+    explicit PipeTracer(size_t limit = kDefaultLimit,
+                        size_t window = kDefaultWindow);
+
+    /**
+     * Start a record at fetch. Returns a handle for the later stage
+     * hooks, or kNoTraceRec once @p limit records have been started
+     * (the simulator keeps running untraced). When the ring is full
+     * the oldest record is flushed to text to make room.
+     */
+    uint32_t fetch(const DynInst *di, uint64_t seq, Cycle c);
+
+    // Later lifecycle stages; all ignore kNoTraceRec and handles
+    // that have already been flushed out of the ring.
+    void rename(uint32_t rec, Cycle c);
+    void dispatch(uint32_t rec, Cycle c);
+    void issue(uint32_t rec, Cycle c);
+    void complete(uint32_t rec, Cycle c);
+    void retire(uint32_t rec, Cycle c);
+    /** The instruction was squashed (trap replay); never retires. */
+    void squash(uint32_t rec, Cycle c);
+
+    /** Flush every still-buffered record; call once after the run. */
+    void finish();
+
+    /** The emitted trace text (valid after finish()). */
+    const std::string &str() const { return out_; }
+
+    /** Number of records started (bounded by the limit). */
+    uint64_t recorded() const { return nextRec_; }
+
+    /** Write the trace text to @p path; false on I/O failure. */
+    bool write(const std::string &path) const;
+
+  private:
+    struct Rec
+    {
+        const DynInst *di = nullptr;
+        uint64_t seq = 0;
+        Cycle fetch = kNoCycle;
+        Cycle rename = kNoCycle;
+        Cycle dispatch = kNoCycle;
+        Cycle issue = kNoCycle;
+        Cycle complete = kNoCycle;
+        Cycle retire = kNoCycle;
+        bool squashed = false;
+    };
+
+    Rec *slot(uint32_t rec);
+    void flush(const Rec &r);
+
+    size_t limit_;
+    std::vector<Rec> ring_;
+    uint64_t nextRec_ = 0;  ///< handles handed out so far
+    uint64_t flushed_ = 0;  ///< handles already emitted as text
+    std::string out_;
+};
+
+} // namespace oova
+
+#endif // OOVA_COMMON_PIPETRACE_HH

@@ -18,6 +18,8 @@
 namespace oova
 {
 
+class PipeTracer;
+
 /** When may an instruction's ROB entry commit? */
 enum class CommitMode
 {
@@ -79,6 +81,23 @@ struct OooConfig
      * timing, figure output, or the machine name.
      */
     int checkLevel = -1;
+
+    /**
+     * Cycle accounting (CPI stack): charge every cycle of the run to
+     * one CpiBucket, surfaced as SimResult::cpiCycles. Observe-only
+     * like checkLevel — it never changes simulated timing, figure
+     * output, or the machine name. Off by default so the hot path
+     * pays nothing.
+     */
+    bool cpiStack = false;
+
+    /**
+     * Optional instruction-lifecycle tracer (common/pipetrace.hh)
+     * recording fetch/rename/dispatch/issue/complete/retire/squash
+     * timestamps. Observe-only; null (the default) disables tracing
+     * entirely. Not owned; the caller keeps it alive for the run.
+     */
+    PipeTracer *pipeTracer = nullptr;
 
     /**
      * The memory hierarchy behind the address path. The default

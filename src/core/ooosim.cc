@@ -7,6 +7,7 @@
 #include "check/check.hh"
 #include "check/checkers.hh"
 #include "common/logging.hh"
+#include "common/pipetrace.hh"
 #include "common/slidingqueue.hh"
 #include "core/btb.hh"
 #include "core/renamer.hh"
@@ -83,6 +84,9 @@ struct RobEntry
     bool tlbRefillPending = false;
     bool tlbRefillIndexed = false;
     std::vector<Addr> tlbRefillPages;
+
+    /** PipeTracer record handle (kNoTraceRec when not tracing). */
+    uint32_t traceRec = kNoTraceRec;
 };
 
 /**
@@ -168,10 +172,9 @@ class OooMachine
     bool usesVectorRegs(const DynInst &di) const;
     bool goesToMemPipe(const DynInst &di) const;
     int routeQueue(const DynInst &di) const; // 0=A 1=S 2=V 3=pipe
-    [[maybe_unused]] bool scalarSrcsReady(const RobEntry &e) const;
-    [[maybe_unused]] bool vectorSrcReady(int phys) const;
-    [[maybe_unused]] bool
-    entryOperandsReady(const RobEntry &e) const;
+    bool scalarSrcsReady(const RobEntry &e) const;
+    bool vectorSrcReady(int phys) const;
+    bool entryOperandsReady(const RobEntry &e) const;
     bool operandsReadyOrSchedule(RobEntry *e, bool with_vector);
     bool operandsScheduleImpl(RobEntry *e, bool with_vector);
     void occupyVectorReadPorts(const RobEntry &e, Cycle until);
@@ -184,6 +187,9 @@ class OooMachine
     void takeTrap();
     void finish(Cycle c) { endCycle_ = std::max(endCycle_, c); }
     [[maybe_unused]] Cycle nextEventAfterScan() const;
+
+    /** CPI stack: classify one non-committing cycle, top-down. */
+    CpiBucket cpiWaitBucket() const;
 
     // ---- invariant audit (src/check/, observe-only) ----
     void registerAuditCheckers();
@@ -443,6 +449,8 @@ class OooMachine
         SeqNum seq;
         /** Fetch predicted this branch wrong (consumed at rename). */
         bool mispredicted;
+        /** PipeTracer record handle (kNoTraceRec when not tracing). */
+        uint32_t traceRec = kNoTraceRec;
     };
     SlidingQueue<Fetched> fetchBuffer_;
     size_t fetchIndex_ = 0;
@@ -454,6 +462,19 @@ class OooMachine
     Cycle fetchStalledUntil_ = 0;  ///< kNoCycle = until resolve
     SeqNum redirectSeq_ = kNoSeq;  ///< branch fetch is stalled on
     SeqNum lastTlbTrapSeq_ = kNoSeq; ///< last TLB software-refill trap
+
+    // ---- observability (observe-only; see cfg.cpiStack) ----
+    /** Cycle accounting: every cycle charged to one bucket. */
+    std::array<uint64_t, kNumCpiBuckets> cpi_{};
+    /**
+     * Shadow of the last trap's fetch stall window: while an empty
+     * machine is refilling after a trap, the wait is trap handling,
+     * not an ordinary fetch bubble. fetchStalledUntil_ itself cannot
+     * distinguish the two (mispredict redirects also set it).
+     */
+    Cycle trapStallUntil_ = 0;
+    /** Instruction-lifecycle tracer (null = off). */
+    PipeTracer *tracer_ = cfg_.pipeTracer;
 
     Cycle fu1Free_ = 0, fu2Free_ = 0;
     IntervalRecorder fu1Rec_, fu2Rec_;
@@ -713,6 +734,8 @@ OooMachine::commitStep()
         e.retired = true;
         e.inRob = false;
         unsubscribeEntry(e);
+        if (tracer_)
+            tracer_->retire(e.traceRec, now_);
         finish(now_ + 1);
         if (e.completeAt != kNoCycle)
             finish(e.completeAt);
@@ -810,6 +833,8 @@ OooMachine::depStage(RobEntry *e)
             e->started = true;
             e->depCycle = now_;
             ++vElims_;
+            if (tracer_)
+                tracer_->issue(e->traceRec, now_);
             subscribeDst(RegClass::V, e->physDst);
             // Completion resolves once the matched register's value
             // is fully written.
@@ -861,6 +886,8 @@ OooMachine::depStage(RobEntry *e)
             e->copySrcPhys = match;
             e->depCycle = now_;
             ++sElims_;
+            if (tracer_)
+                tracer_->issue(e->traceRec, now_);
             // Hold the source register so it cannot be reallocated
             // before the copy's value is latched.
             PhysRegFile &f = renamer_.file(di.dst.cls);
@@ -1147,6 +1174,10 @@ OooMachine::memIssueStep()
         }
         finish(e->completeAt);
         finish(e->memDoneAt);
+        if (tracer_) {
+            tracer_->issue(e->traceRec, now_);
+            tracer_->complete(e->traceRec, e->completeAt);
+        }
         // Rescan next cycle: entries after this one were skipped.
         queueCheckAt_[3] = 0;
         return true;
@@ -1286,6 +1317,10 @@ OooMachine::issueQueue(std::vector<RobEntry *> &queue,
             }
             executeScalar(e);
         }
+        if (tracer_) {
+            tracer_->issue(e->traceRec, now_);
+            tracer_->complete(e->traceRec, e->completeAt);
+        }
         queue.erase(queue.begin() + static_cast<long>(i));
         // Rescan next cycle: the issue may have unblocked nothing,
         // but entries after this one were not examined.
@@ -1335,6 +1370,8 @@ OooMachine::resolveEliminated()
             // entry holds its dst reference; a retired one's
             // completion no longer gates anything).
             publishRegWrite(e->di->dst.cls, e->physDst);
+            if (tracer_)
+                tracer_->complete(e->traceRec, done);
             finish(done);
             return true;
         }
@@ -1345,6 +1382,8 @@ OooMachine::resolveEliminated()
             return false;
         e->completeAt = std::max(e->depCycle + 1, p.fullReadyAt);
         pushEvent(e->completeAt, EvComplete, e->slabIdx);
+        if (tracer_)
+            tracer_->complete(e->traceRec, e->completeAt);
         finish(e->completeAt);
         return true;
     });
@@ -1432,6 +1471,12 @@ OooMachine::dispatchStep()
     }
     if (fetchBuffer_.front().mispredicted)
         e->wasMispredicted = true;
+    e->traceRec = fetchBuffer_.front().traceRec;
+    if (tracer_) {
+        // Decode/rename and dispatch are one stage here.
+        tracer_->rename(e->traceRec, now_);
+        tracer_->dispatch(e->traceRec, now_);
+    }
 
     rob_.push_back(e);
     if (to_pipe) {
@@ -1472,6 +1517,8 @@ OooMachine::fetchStep()
     const DynInst &di = trace_[fetchIndex_];
     SeqNum seq = fetchIndex_;
     fetchBuffer_.push_back({&di, seq, false});
+    if (tracer_)
+        fetchBuffer_.back().traceRec = tracer_->fetch(&di, seq, now_);
     ++fetchIndex_;
 
     if (!di.isBranch())
@@ -1560,6 +1607,8 @@ OooMachine::takeTrap()
         RobEntry *e = *it;
         e->inRob = false;
         unsubscribeEntry(*e);
+        if (tracer_)
+            tracer_->squash(e->traceRec, now_);
         if (e->holdsCopyClaim) {
             renamer_.file(e->di->dst.cls).release(e->copySrcPhys);
             e->holdsCopyClaim = false;
@@ -1586,6 +1635,10 @@ OooMachine::takeTrap()
     elimWait_.clear();
     elimWaitDirty_ = false;
     memSlotsUsed_ = 0;
+    if (tracer_) {
+        for (const Fetched &fe : fetchBuffer_)
+            tracer_->squash(fe.traceRec, now_);
+    }
     fetchBuffer_.clear();
     redirectSeq_ = kNoSeq;
 
@@ -1601,6 +1654,7 @@ OooMachine::takeTrap()
     if (fault_.faultSeq == fault_seq)
         fault_.faultSeq = kNoSeq;
     fetchStalledUntil_ = now_ + cfg_.trapPenalty;
+    trapStallUntil_ = fetchStalledUntil_;
     pushEvent(fetchStalledUntil_, EvFetch);
     ++traps_;
 }
@@ -1723,6 +1777,66 @@ OooMachine::nextEventAfterScan() const
         }
     }
     return best;
+}
+
+/**
+ * Top-down attribution of a cycle in which nothing committed: charge
+ * whatever is holding up the ROB head (the oldest instruction is
+ * what retirement is actually waiting for), or the front end when
+ * nothing is in flight. Read-only over the same state the issue
+ * logic consults, so accounting can never perturb timing.
+ */
+CpiBucket
+OooMachine::cpiWaitBucket() const
+{
+    if (rob_.empty()) {
+        // Nothing in flight: the front end is the limiter — either
+        // the post-trap refill window or an ordinary fetch/redirect
+        // bubble (mispredict penalty, empty fetch buffer).
+        return now_ < trapStallUntil_ ? CpiBucket::TlbTrap
+                                      : CpiBucket::Fetch;
+    }
+    const RobEntry &h = *rob_.front();
+    if (h.faulted || h.faultArmed || h.tlbRefillPending)
+        return CpiBucket::TlbTrap;
+    if (h.started) {
+        // Executing but not yet committable (late commit): the
+        // remaining latency belongs to the unit doing the work.
+        if (h.di->isMem())
+            return CpiBucket::Memory;
+        if (h.eliminated)
+            return CpiBucket::OperandWait;
+        return CpiBucket::FuBusy;
+    }
+    switch (h.queueId) {
+    case 3:
+        // In the memory wait set: blocked on operands, or on the
+        // memory system itself (unit busy, disambiguation, bank and
+        // MSHR backpressure all surface as a non-issuing ready op).
+        return entryOperandsReady(h) ? CpiBucket::Memory
+                                     : CpiBucket::OperandWait;
+    case 0:
+    case 1:
+        // Scalar queues issue one per queue per cycle: a ready head
+        // that has not issued lost the issue-slot race.
+        return scalarSrcsReady(h) ? CpiBucket::FuBusy
+                                  : CpiBucket::OperandWait;
+    case 2:
+        return entryOperandsReady(h) ? CpiBucket::FuBusy
+                                     : CpiBucket::OperandWait;
+    default:
+        // Still in the memory pipeline (Issue/Range/Dep): either the
+        // Dep stage is stalled on renaming or a full V queue, or the
+        // entry is simply traversing the pipe.
+        if (cfg_.loadElim == LoadElimMode::SleVle &&
+            h.di->dst.cls == RegClass::V &&
+            !renamer_.canRename(RegClass::V)) {
+            return CpiBucket::Rename;
+        }
+        if (!h.di->isMem() && vQueue_.size() >= cfg_.queueSize)
+            return CpiBucket::QueueFull;
+        return CpiBucket::Memory;
+    }
 }
 
 // ---------------------------------------------------------------
@@ -1933,6 +2047,16 @@ OooMachine::registerAuditCheckers()
         if (const Tlb *tlb = mem_->tlb())
             check::checkTlbSoundness(tlb->auditView(), r);
     });
+
+    // CPI-stack conservation: with cycle accounting on, the buckets
+    // must partition the run exactly (checked once the drain bucket
+    // has been settled at end of run).
+    if (cfg_.cpiStack) {
+        audit_.add("cpi-conservation", check::kSiteEnd,
+                   [this](Reporter &r) {
+            check::checkCpiConservation(endCycle_, cpi_, r);
+        });
+    }
 }
 
 SimResult
@@ -1944,6 +2068,7 @@ OooMachine::run()
             nextAuditAt_ = now_ + check::kAuditWindow;
         }
         bool progress = false;
+        uint64_t traps_before = traps_;
         unsigned retired = commitStep();
         progress |= retired > 0;
         if (checkRetire_ && retired > 0)
@@ -1964,6 +2089,17 @@ OooMachine::run()
         }
 
         if (progress) {
+            if (cfg_.cpiStack) {
+                // Charge exactly at the now_ advance: a trap squash
+                // dominates the cycle, a retirement makes it a
+                // committing cycle, anything else is charged to
+                // whatever blocks the ROB head.
+                CpiBucket b = traps_ > traps_before
+                                  ? CpiBucket::TlbTrap
+                                  : retired > 0 ? CpiBucket::Commit
+                                                : cpiWaitBucket();
+                ++cpi_[static_cast<unsigned>(b)];
+            }
             ++now_;
         } else {
             Cycle next = nextEventFromCalendar();
@@ -2023,10 +2159,24 @@ OooMachine::run()
                       vQueue_.size(), aQueue_.size(), sQueue_.size(),
                       memSlotsUsed_, head.c_str());
             }
+            if (cfg_.cpiStack) {
+                // Every skipped cycle has the same blocker: nothing
+                // changes until the calendar's next event.
+                cpi_[static_cast<unsigned>(cpiWaitBucket())] +=
+                    next - now_;
+            }
             now_ = next;
         }
     }
     finish(now_);
+    if (cfg_.cpiStack) {
+        // The loop exits when the ROB empties; functional units and
+        // the memory system keep draining until endCycle_. The final
+        // committing cycle itself lands here too, which keeps the
+        // stack an exact partition of res.cycles.
+        cpi_[static_cast<unsigned>(CpiBucket::Drain)] +=
+            endCycle_ - now_;
+    }
 
     if (checkRetire_) {
         // Final whole-state audit: with the ROB drained, every
@@ -2064,6 +2214,7 @@ OooMachine::run()
     res.robStallCycles = robStalls_;
     res.queueStallCycles = queueStalls_;
     res.traps = traps_;
+    res.cpiCycles = cpi_;
     res.stateCycles = UnitStateBreakdown::compute(
         fu2Rec_, fu1Rec_, mem_->busy(), endCycle_);
     return res;

@@ -1,10 +1,13 @@
 #include "harness/figure.hh"
 
 #include <cctype>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
+#include <mutex>
 #include <sstream>
 
 #include "check/check.hh"
@@ -88,11 +91,37 @@ jsonStringArray(std::ostringstream &os,
     os << "]";
 }
 
+/**
+ * Wall times are genuinely fractional and non-deterministic; a fixed
+ * precision keeps the envelope stable in shape if not in value.
+ */
+void
+jsonManifest(std::ostringstream &os, const RunManifest &manifest)
+{
+    os << "  \"manifest\": {\n";
+    os << "    \"schemaVersion\": " << RunManifest::kSchemaVersion
+       << ",\n";
+    os << "    \"scale\": " << manifest.scale << ",\n";
+    os << "    \"threads\": " << manifest.threads << ",\n";
+    os << csprintf("    \"wallMs\": %.3f,\n", manifest.wallMs);
+    os << "    \"jobs\": [";
+    for (size_t i = 0; i < manifest.jobs.size(); ++i) {
+        const JobRecord &job = manifest.jobs[i];
+        os << (i ? ",\n      " : "\n      ");
+        os << "{\"program\": \"" << jsonEscape(job.program)
+           << "\", \"machine\": \"" << jsonEscape(job.machine)
+           << "\", " << csprintf("\"wallMs\": %.3f}", job.wallMs);
+    }
+    os << (manifest.jobs.empty() ? "]\n" : "\n    ]\n");
+    os << "  },\n";
+}
+
 } // namespace
 
 std::string
 renderFigureJson(const FigureDef &fig, const FigureResult &result,
-                 double scale, unsigned threads)
+                 double scale, unsigned threads,
+                 const RunManifest *manifest)
 {
     std::ostringstream os;
     os << "{\n";
@@ -100,6 +129,8 @@ renderFigureJson(const FigureDef &fig, const FigureResult &result,
     os << "  \"title\": \"" << jsonEscape(fig.title) << "\",\n";
     os << "  \"scale\": " << scale << ",\n";
     os << "  \"threads\": " << threads << ",\n";
+    if (manifest)
+        jsonManifest(os, *manifest);
     os << "  \"sections\": [\n";
     for (size_t s = 0; s < result.sections.size(); ++s) {
         const auto &sec = result.sections[s];
@@ -130,6 +161,10 @@ parseCommonFlag(int argc, char **argv, int &i, FigureOptions &opts)
     const char *arg = argv[i];
     if (std::strcmp(arg, "--json") == 0) {
         opts.json = true;
+        return 1;
+    }
+    if (std::strcmp(arg, "--progress") == 0) {
+        opts.progress = true;
         return 1;
     }
     if (std::strcmp(arg, "--threads") == 0) {
@@ -167,6 +202,34 @@ parseCommonFlag(int argc, char **argv, int &i, FigureOptions &opts)
     return 0;
 }
 
+void
+installProgressMeter(SweepEngine &engine)
+{
+    // State shared by worker threads for the lifetime of the
+    // std::function; the mutex serializes the stderr lines.
+    struct Meter
+    {
+        std::chrono::steady_clock::time_point start =
+            std::chrono::steady_clock::now();
+        std::mutex mutex;
+    };
+    auto meter = std::make_shared<Meter>();
+    engine.setProgress([meter](size_t done, size_t total) {
+        std::lock_guard<std::mutex> lock(meter->mutex);
+        double elapsed =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - meter->start)
+                .count();
+        double eta =
+            elapsed * static_cast<double>(total - done) /
+            static_cast<double>(done);
+        std::fprintf(stderr,
+                     "[sweep] %zu/%zu jobs  %.1fs elapsed  "
+                     "~%.1fs left\n",
+                     done, total, elapsed, eta);
+    });
+}
+
 int
 runFigureMain(const std::string &name, int argc, char **argv)
 {
@@ -180,7 +243,7 @@ runFigureMain(const std::string &name, int argc, char **argv)
         if (r == 0) {
             std::fprintf(stderr,
                          "usage: %s [--threads N] [--json] "
-                         "[--scale S]\n",
+                         "[--progress] [--scale S]\n",
                          argv[0]);
             return 2;
         }
@@ -194,11 +257,26 @@ runFigureMain(const std::string &name, int argc, char **argv)
 
     TraceCache traces(opts.scale);
     SweepEngine engine(traces, opts.threads);
+    if (opts.progress)
+        installProgressMeter(engine);
+    if (opts.json)
+        engine.enableManifest();
+    auto t0 = std::chrono::steady_clock::now();
     FigureResult result = fig->fn(engine);
-    std::string out =
-        opts.json ? renderFigureJson(*fig, result, traces.scale(),
-                                     engine.threads())
-                  : renderFigureText(*fig, result, traces.scale());
+    std::string out;
+    if (opts.json) {
+        RunManifest manifest;
+        manifest.scale = traces.scale();
+        manifest.threads = engine.threads();
+        manifest.wallMs = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+        manifest.jobs = engine.manifest();
+        out = renderFigureJson(*fig, result, traces.scale(),
+                               engine.threads(), &manifest);
+    } else {
+        out = renderFigureText(*fig, result, traces.scale());
+    }
     std::fputs(out.c_str(), stdout);
     // Invariant-audit violations (observe-only, reported on stderr)
     // turn the exit code red without touching the figure output.

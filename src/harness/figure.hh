@@ -70,18 +70,45 @@ std::string renderFigureText(const FigureDef &fig,
                              const FigureResult &result,
                              double scale);
 
-/** JSON rendering, one object per figure. */
+/**
+ * Run metadata attached to each --json figure object, so a stored
+ * result is self-describing: which schema wrote it, at what trace
+ * scale, on how many workers, and what each job cost in wall time.
+ */
+struct RunManifest
+{
+    /** Bump when the JSON envelope's shape changes. */
+    static constexpr int kSchemaVersion = 1;
+    double scale = 1.0;   ///< effective OOVA_SCALE
+    unsigned threads = 1; ///< sweep worker count
+    double wallMs = 0.0;  ///< wall time for the whole figure
+    std::vector<JobRecord> jobs;
+};
+
+/**
+ * JSON rendering, one object per figure; @p manifest (when non-null)
+ * is embedded as a "manifest" metadata envelope.
+ */
 std::string renderFigureJson(const FigureDef &fig,
                              const FigureResult &result, double scale,
-                             unsigned threads);
+                             unsigned threads,
+                             const RunManifest *manifest = nullptr);
 
 /** Options shared by every figure driver. */
 struct FigureOptions
 {
     unsigned threads = 0; ///< 0 = hardware concurrency
     bool json = false;
+    bool progress = false; ///< stderr heartbeat while sweeping
     double scale = 1.0;
 };
+
+/**
+ * Install the --progress heartbeat on @p engine: a per-job stderr
+ * line (jobs done / batch total, elapsed, ETA). Never writes to
+ * stdout, so figure output and goldens are unaffected.
+ */
+void installProgressMeter(SweepEngine &engine);
 
 /**
  * Largest accepted --threads value: far above any real machine, but
@@ -91,7 +118,8 @@ constexpr unsigned kMaxSweepThreads = 4096;
 
 /**
  * Try to consume argv[i] (and its value, if any) as one of the
- * common flags --threads N / --json / --scale S. Returns 1 if
+ * common flags --threads N / --json / --progress / --scale S.
+ * Returns 1 if
  * consumed (advancing @p i past any value), 0 if argv[i] is not a
  * common flag, -1 on a malformed value (after printing an error to
  * stderr).
@@ -101,8 +129,8 @@ int parseCommonFlag(int argc, char **argv, int &i,
 
 /**
  * Shared main() for the per-figure bench binaries: parses
- * [--threads N] [--json] [--scale S], runs figure @p name and prints
- * it. Returns the process exit code.
+ * [--threads N] [--json] [--progress] [--scale S], runs figure
+ * @p name and prints it. Returns the process exit code.
  */
 int runFigureMain(const std::string &name, int argc, char **argv);
 

@@ -1230,6 +1230,65 @@ figMemLatBanks(const SweepEngine &engine)
     return out;
 }
 
+// --------------------------------------------------------- cpistack
+// Top-down cycle accounting: every cycle of a run charged to exactly
+// one bucket (the cpi-conservation checker enforces the sum). REF
+// shows where the in-order machine stalls; the two OOOVA columns
+// show how out-of-order issue converts those stalls into commit
+// cycles, and how a tight rename pool (9 physical vector registers)
+// brings rename/queue stalls back.
+
+FigureResult
+figCpiStack(const SweepEngine &engine)
+{
+    const auto &names = engine.traces().names();
+
+    RefConfig refCfg = makeRefConfig(50);
+    refCfg.cpiStack = true;
+    OooConfig ooo16 = makeOooConfig(16, 16, 50);
+    ooo16.cpiStack = true;
+    OooConfig ooo9 = makeOooConfig(9, 16, 50);
+    ooo9.cpiStack = true;
+
+    JobSet js;
+    std::vector<std::array<size_t, 3>> idx(names.size());
+    for (size_t p = 0; p < names.size(); ++p) {
+        idx[p][0] = js.addRef(names[p], refCfg);
+        idx[p][1] = js.addOoo(names[p], ooo16);
+        idx[p][2] = js.addOoo(names[p], ooo9);
+    }
+    js.run(engine);
+
+    FigureResult out;
+    for (size_t p = 0; p < names.size(); ++p) {
+        TextTable table(
+            {"Bucket", "REF %", "OOOVA-16r %", "OOOVA-9r %"});
+        for (unsigned b = 0; b < kNumCpiBuckets; ++b) {
+            std::vector<std::string> row = {
+                cpiBucketName(static_cast<CpiBucket>(b))};
+            for (size_t m = 0; m < 3; ++m) {
+                const SimResult &r = js[idx[p][m]];
+                row.push_back(TextTable::fmt(
+                    100.0 *
+                        static_cast<double>(r.cpiCycles[b]) /
+                        static_cast<double>(r.cycles),
+                    1));
+            }
+            table.addRow(row);
+        }
+        table.addRow({"total cycles",
+                      TextTable::fmt(js[idx[p][0]].cycles),
+                      TextTable::fmt(js[idx[p][1]].cycles),
+                      TextTable::fmt(js[idx[p][2]].cycles)});
+        out.sections.push_back(
+            {"--- " + names[p] + " ---", std::move(table)});
+    }
+    out.footnote = "(columns sum to 100% of each machine's cycles; "
+                   "the cpi-conservation checker enforces the sum "
+                   "exactly)";
+    return out;
+}
+
 // --------------------------------------------------------- simspeed
 // Sweep-engine throughput: how many simulated instructions per
 // second the full pool sustains for each machine model. The
@@ -1353,6 +1412,9 @@ figureRegistry()
          figMemTlb},
         {"memlat", "mem_latbanks",
          "Memory: latency tolerance x bank count", figMemLatBanks},
+        {"cpistack", "cpi_stack",
+         "CPI stack: top-down cycle accounting, REF vs OOOVA",
+         figCpiStack},
         {"simspeed", "simspeed_sweep", "Sweep-engine throughput",
          simspeedThroughput},
     };

@@ -1,6 +1,7 @@
 #include "harness/sweep.hh"
 
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <thread>
 
@@ -72,14 +73,35 @@ std::vector<SimResult>
 SweepEngine::run(const std::vector<SweepJob> &jobs) const
 {
     std::vector<SimResult> results(jobs.size());
+    std::vector<double> wallMs(jobs.size(), 0.0);
+    std::atomic<size_t> done{0};
 
     auto runOne = [&](size_t i) {
         const SweepJob &job = jobs[i];
+        auto t0 = std::chrono::steady_clock::now();
         const Trace &t = job.inlineTrace ? *job.inlineTrace
                                          : traces_.get(job.trace);
         results[i] = job.run(t);
+        wallMs[i] = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
         if (results[i].program.empty())
             results[i].program = job.trace;
+        if (progress_)
+            progress_(done.fetch_add(1) + 1, jobs.size());
+    };
+
+    // Prefetch dummies carry no machine label and are skipped, so
+    // the manifest lists exactly the simulations that ran.
+    auto record = [&] {
+        if (!manifestEnabled_)
+            return;
+        for (size_t i = 0; i < jobs.size(); ++i) {
+            if (results[i].machine.empty())
+                continue;
+            manifest_.push_back({results[i].program,
+                                 results[i].machine, wallMs[i]});
+        }
     };
 
     unsigned workers = threads_;
@@ -89,6 +111,7 @@ SweepEngine::run(const std::vector<SweepJob> &jobs) const
     if (workers <= 1) {
         for (size_t i = 0; i < jobs.size(); ++i)
             runOne(i);
+        record();
         return results;
     }
 
@@ -119,6 +142,7 @@ SweepEngine::run(const std::vector<SweepJob> &jobs) const
         t.join();
     if (error)
         std::rethrow_exception(error);
+    record();
     return results;
 }
 

@@ -63,6 +63,20 @@ SweepJob refTraceJob(std::shared_ptr<const Trace> trace,
  */
 SweepJob idealJob(std::string trace);
 
+/**
+ * One executed job's entry in the run manifest: what ran (program ×
+ * machine label) and how long the job took on its worker thread,
+ * trace generation included on a cache miss. The (program, machine,
+ * scale) triple is the key the ROADMAP's sweep-farm result store
+ * will address cached results by.
+ */
+struct JobRecord
+{
+    std::string program;
+    std::string machine;
+    double wallMs = 0.0;
+};
+
 /** Executes batches of SweepJobs on a worker pool. */
 class SweepEngine
 {
@@ -89,9 +103,40 @@ class SweepEngine
     unsigned threads() const { return threads_; }
     const TraceCache &traces() const { return traces_; }
 
+    /**
+     * Install a per-job completion callback (jobs done, batch size),
+     * invoked from worker threads after every finished job — the
+     * callback must be thread-safe. Used by --progress; never called
+     * when unset, so the default costs nothing.
+     */
+    void
+    setProgress(std::function<void(size_t, size_t)> cb)
+    {
+        progress_ = std::move(cb);
+    }
+
+    /**
+     * Record a JobRecord for every job of subsequent run() calls
+     * (prefetch dummies excluded). Drives the --json run manifest.
+     */
+    void enableManifest() { manifestEnabled_ = true; }
+
+    /** The records accumulated since enableManifest(). */
+    const std::vector<JobRecord> &manifest() const
+    {
+        return manifest_;
+    }
+
   private:
     const TraceCache &traces_;
     unsigned threads_;
+    std::function<void(size_t, size_t)> progress_;
+    bool manifestEnabled_ = false;
+    /**
+     * Appended after each batch's workers have joined (figures run
+     * batches serially from one thread), so no lock is needed.
+     */
+    mutable std::vector<JobRecord> manifest_;
 };
 
 /**

@@ -32,6 +32,33 @@ stallCauseName(StallCause cause)
     }
 }
 
+const char *
+cpiBucketName(CpiBucket bucket)
+{
+    switch (bucket) {
+    case CpiBucket::Commit:
+        return "commit";
+    case CpiBucket::Fetch:
+        return "fetch";
+    case CpiBucket::Rename:
+        return "rename";
+    case CpiBucket::QueueFull:
+        return "queue-full";
+    case CpiBucket::OperandWait:
+        return "operand-wait";
+    case CpiBucket::FuBusy:
+        return "fu-busy";
+    case CpiBucket::Memory:
+        return "memory";
+    case CpiBucket::TlbTrap:
+        return "tlb-trap";
+    case CpiBucket::Drain:
+        return "drain";
+    default:
+        return "?";
+    }
+}
+
 namespace
 {
 
@@ -101,6 +128,14 @@ simResultJson(const SimResult &res)
             os << ", ";
         os << jsonString(stallCauseName(static_cast<StallCause>(c)))
            << ": " << res.stallCycles[c];
+    }
+    os << "},\n";
+    os << "  \"cpiCycles\": {";
+    for (unsigned b = 0; b < kNumCpiBuckets; ++b) {
+        if (b)
+            os << ", ";
+        os << jsonString(cpiBucketName(static_cast<CpiBucket>(b)))
+           << ": " << res.cpiCycles[b];
     }
     os << "},\n";
     // Derived accessors, so consumers need not re-implement them.

@@ -38,6 +38,33 @@ constexpr unsigned kNumStallCauses =
 /** Human-readable stall-cause label. */
 const char *stallCauseName(StallCause cause);
 
+/**
+ * CPI-stack bucket: where one machine cycle went, top-down. Both
+ * simulators charge every cycle of a run to exactly one bucket when
+ * cycle accounting is enabled (off by default); the conservation
+ * invariant (buckets sum to `cycles`) is enforced by the
+ * cpi-conservation checker in src/check/.
+ */
+enum class CpiBucket : uint8_t
+{
+    Commit,      ///< at least one instruction retired
+    Fetch,       ///< front end empty: fetch/BTB-limited
+    Rename,      ///< free-list empty: rename-limited
+    QueueFull,   ///< dispatch blocked on a full aQ/sQ/vQ
+    OperandWait, ///< head waiting on source operands
+    FuBusy,      ///< ready but lost the FU/issue-port race
+    Memory,      ///< memory unit, bank, or MSHR limited
+    TlbTrap,     ///< TLB miss handling / precise-trap squash
+    Drain,       ///< end-of-trace pipeline drain
+    NumBuckets,
+};
+
+constexpr unsigned kNumCpiBuckets =
+    static_cast<unsigned>(CpiBucket::NumBuckets);
+
+/** Human-readable CPI-bucket label. */
+const char *cpiBucketName(CpiBucket bucket);
+
 /** Aggregate outcome of simulating one trace on one machine. */
 struct SimResult
 {
@@ -82,6 +109,13 @@ struct SimResult
 
     /** REF only: issue-stall cycles attributed to their cause. */
     std::array<uint64_t, kNumStallCauses> stallCycles{};
+
+    /**
+     * CPI stack: every cycle charged to one bucket. All zero unless
+     * the config enables cycle accounting (cpiStack); when enabled,
+     * the entries sum exactly to `cycles`.
+     */
+    std::array<uint64_t, kNumCpiBuckets> cpiCycles{};
 
     /** Fraction of cycles the memory port was idle (figures 4/6). */
     double

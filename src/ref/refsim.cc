@@ -16,6 +16,35 @@ namespace oova
 namespace
 {
 
+/**
+ * CPI-stack bucket for a REF issue stall. The in-order machine has
+ * no rename or queues, so the stall causes map onto the shared
+ * buckets: dependence waits are operand waits, WAR/WAW is the
+ * machine's want of renaming, structural FU/port losses are FU
+ * conflicts, the memory unit is the memory bucket, and the
+ * post-branch redirect bubble is fetch-limited.
+ */
+CpiBucket
+cpiBucketFor(StallCause cause)
+{
+    switch (cause) {
+    case StallCause::ScalarDep:
+    case StallCause::VectorDep:
+        return CpiBucket::OperandWait;
+    case StallCause::WarWaw:
+        return CpiBucket::Rename;
+    case StallCause::FuBusy:
+    case StallCause::Ports:
+        return CpiBucket::FuBusy;
+    case StallCause::MemUnit:
+        return CpiBucket::Memory;
+    case StallCause::Branch:
+        return CpiBucket::Fetch;
+    default:
+        return CpiBucket::OperandWait;
+    }
+}
+
 /** Per-logical-V-register occupancy state. */
 struct VRegState
 {
@@ -115,6 +144,11 @@ class RefMachine
     Cycle nextIssue_ = 0;
     Cycle endCycle_ = 0;
     std::array<uint64_t, kNumStallCauses> stallCycles_{};
+
+    // ---- cycle accounting (observe-only; cfg.cpiStack) ----
+    std::array<uint64_t, kNumCpiBuckets> cpiCycles_{};
+    /** One past the previous instruction's issue cycle. */
+    Cycle issueEndPrev_ = 0;
 
     // ---- invariant audit (observe-only; see src/check/) ----
     bool checkRetire_ = false;
@@ -408,8 +442,29 @@ RefMachine::run()
             stallCycles_[static_cast<unsigned>(ip.cause)] +=
                 ip.t - ip_base_;
         }
+        if (cfg_.cpiStack) {
+            // Charge the issue timeline gap-free: the redirect
+            // bubble folded into nextIssue_ by the previous taken
+            // branch is fetch-limited, the raise()-tracked stall
+            // goes to its bucket, and the issue cycle itself
+            // commits one instruction. Chaining the intervals off
+            // issueEndPrev_ is what makes the stack sum to cycles
+            // exactly.
+            cpiCycles_[static_cast<unsigned>(CpiBucket::Fetch)] +=
+                ip_base_ - issueEndPrev_;
+            cpiCycles_[static_cast<unsigned>(
+                cpiBucketFor(ip.cause))] += ip.t - ip_base_;
+            ++cpiCycles_[static_cast<unsigned>(CpiBucket::Commit)];
+            issueEndPrev_ = ip.t + 1;
+        }
         nextIssue_ = std::max(nextIssue_, ip.t + 1);
         finish(ip.t + 1);
+    }
+
+    if (cfg_.cpiStack) {
+        // After the last issue the vector units and memory drain.
+        cpiCycles_[static_cast<unsigned>(CpiBucket::Drain)] +=
+            endCycle_ - issueEndPrev_;
     }
 
     // End-of-run audit: memory-counter containment and TLB
@@ -422,6 +477,11 @@ RefMachine::run()
             check::Reporter tr2 = audit_.reporter("tlb-lru",
                                                   endCycle_);
             check::checkTlbSoundness(tlb->auditView(), tr2);
+        }
+        if (cfg_.cpiStack) {
+            check::Reporter cr = audit_.reporter("cpi-conservation",
+                                                 endCycle_);
+            check::checkCpiConservation(endCycle_, cpiCycles_, cr);
         }
     }
 
@@ -446,6 +506,7 @@ RefMachine::run()
     res.tlbIndexedMisses = mem_->stats().tlbIndexedMisses;
     res.tlbMissCycles = mem_->stats().tlbMissCycles;
     res.stallCycles = stallCycles_;
+    res.cpiCycles = cpiCycles_;
     res.stateCycles = UnitStateBreakdown::compute(
         fu2Rec_, fu1Rec_, mem_->busy(), endCycle_);
     return res;

@@ -66,6 +66,13 @@ struct RefConfig
     int checkLevel = -1;
 
     /**
+     * Cycle accounting (CPI stack), mirroring OooConfig::cpiStack:
+     * charge every cycle to one CpiBucket (SimResult::cpiCycles).
+     * Observe-only; never changes simulated timing or output.
+     */
+    bool cpiStack = false;
+
+    /**
      * The memory hierarchy (default: the paper's flat address bus;
      * see mem/memsystem.hh). Non-default models are reflected in the
      * result's machine label, e.g. "REF/mb8p1".

@@ -248,7 +248,9 @@ TEST(Speedup, ZeroCyclesIsNaNNotZero)
 TEST(FigureRegistry, AllFiguresRegisteredAndFindable)
 {
     const auto &registry = figureRegistry();
-    EXPECT_EQ(registry.size(), 21u);
+    EXPECT_EQ(registry.size(), 22u);
+    EXPECT_EQ(findFigure("cpistack"), findFigure("cpi_stack"));
+    EXPECT_NE(findFigure("cpistack"), nullptr);
     EXPECT_NE(findFigure("fig5"), nullptr);
     EXPECT_NE(findFigure("fig5_speedup"), nullptr);
     EXPECT_EQ(findFigure("fig5"), findFigure("fig5_speedup"));
