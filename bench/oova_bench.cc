@@ -5,16 +5,20 @@
  *
  *   oova_bench --list
  *   oova_bench fig5 --threads 8
+ *   oova_bench all --store .oova-store --workers 4 --store-stats
  *   oova_bench all --json > BENCH_all.json
  *   oova_bench hydro2d --pipetrace=hydro2d.pipeview
  *
  * Trace scale comes from OOVA_SCALE or --scale; --json emits the
  * machine-readable result tables used to track the perf trajectory
- * across PRs, each wrapped in a run-manifest envelope. With
- * --pipetrace=FILE the positional name selects a benchmark instead
- * of a figure: one OOOVA run is traced per instruction and written
- * in O3PipeView format, which Konata renders as a pipeline
- * waterfall.
+ * across PRs, each wrapped in a run-manifest envelope. --store makes
+ * the run read and feed a content-addressed result store, and
+ * --workers shards the sweep over forked worker processes — both
+ * produce byte-identical figure output, so they compose freely with
+ * the golden gate. With --pipetrace=FILE the positional name selects
+ * a benchmark instead of a figure: one OOOVA run is traced per
+ * instruction and written in O3PipeView format, which Konata renders
+ * as a pipeline waterfall.
  */
 
 #include <cctype>
@@ -23,6 +27,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -37,18 +42,45 @@ using namespace oova;
 namespace
 {
 
+void
+printUsage(std::FILE *to, const char *argv0)
+{
+    std::fprintf(
+        to,
+        "usage: %s <figure>|all|--list [--threads N | --workers N]\n"
+        "       %*s [--store DIR] [--store-stats] [--json] "
+        "[--progress] [--scale S]\n"
+        "       %s <benchmark> --pipetrace=FILE [--trace-limit=N] "
+        "[--scale S]\n"
+        "\n"
+        "  --threads N     in-process worker threads (default "
+        "backend; 0 = all cores)\n"
+        "  --workers N     forked worker processes instead of "
+        "threads (0 = all cores)\n"
+        "                  --threads and --workers are mutually "
+        "exclusive: neither\n"
+        "                  takes precedence, passing both is an "
+        "error\n"
+        "  --store DIR     content-addressed result store: serve "
+        "previously computed\n"
+        "                  results from DIR, persist fresh results "
+        "into it\n"
+        "  --store-stats   print the [store] hit/miss line to "
+        "stderr (needs --store)\n"
+        "  --json          machine-readable output with run "
+        "manifests\n"
+        "  --progress      per-job heartbeat on stderr\n"
+        "  --scale S       trace scale (overrides OOVA_SCALE)\n",
+        argv0, static_cast<int>(std::strlen(argv0)), "", argv0);
+    std::fprintf(to, "figures:\n");
+    for (const auto &fig : figureRegistry())
+        std::fprintf(to, "  %-8s  %s\n", fig.name, fig.title);
+}
+
 int
 usage(const char *argv0)
 {
-    std::fprintf(stderr,
-                 "usage: %s <figure>|all|--list [--threads N] "
-                 "[--json] [--progress] [--scale S]\n"
-                 "       %s <benchmark> --pipetrace=FILE "
-                 "[--trace-limit=N] [--scale S]\n",
-                 argv0, argv0);
-    std::fprintf(stderr, "figures:\n");
-    for (const auto &fig : figureRegistry())
-        std::fprintf(stderr, "  %-8s  %s\n", fig.name, fig.title);
+    printUsage(stderr, argv0);
     return 2;
 }
 
@@ -119,6 +151,9 @@ main(int argc, char **argv)
         if (std::strcmp(arg, "--list") == 0) {
             list();
             return 0;
+        } else if (std::strcmp(arg, "--help") == 0) {
+            printUsage(stdout, argv[0]);
+            return 0;
         } else if (std::strncmp(arg, "--pipetrace=", 12) == 0) {
             pipetracePath = arg + 12;
             if (pipetracePath.empty()) {
@@ -147,6 +182,8 @@ main(int argc, char **argv)
     }
     if (which.empty())
         return usage(argv[0]);
+    if (!validateFigureOptions(opts))
+        return 2;
 
     if (!pipetracePath.empty())
         return runPipetrace(which, pipetracePath, traceLimit,
@@ -166,10 +203,14 @@ main(int argc, char **argv)
         figs.push_back(fig);
     }
 
-    // One cache and one engine shared across figures, so `all` only
-    // generates each trace once.
+    // One cache, one store and one engine shared across figures, so
+    // `all` only generates each trace once and every figure feeds
+    // the same store.
     TraceCache traces(opts.scale);
-    SweepEngine engine(traces, opts.threads);
+    std::unique_ptr<ResultStore> store;
+    if (!opts.storeDir.empty())
+        store = std::make_unique<ResultStore>(opts.storeDir);
+    SweepEngine engine = makeSweepEngine(traces, opts, store.get());
     if (opts.progress)
         installProgressMeter(engine);
     if (opts.json)
@@ -179,8 +220,12 @@ main(int argc, char **argv)
         std::printf("[\n");
     for (size_t i = 0; i < figs.size(); ++i) {
         // The engine's manifest accumulates across figures; this
-        // figure's jobs are the records added while it ran.
+        // figure's jobs are the records added while it ran, and its
+        // store traffic is the counter movement while it ran.
         size_t firstJob = engine.manifest().size();
+        StoreStats before;
+        if (store)
+            before = store->stats();
         auto t0 = std::chrono::steady_clock::now();
         FigureResult result = figs[i]->fn(engine);
         std::string out;
@@ -188,10 +233,15 @@ main(int argc, char **argv)
             RunManifest manifest;
             manifest.scale = traces.scale();
             manifest.threads = engine.threads();
+            manifest.backend = engine.backendName();
             manifest.wallMs =
                 std::chrono::duration<double, std::milli>(
                     std::chrono::steady_clock::now() - t0)
                     .count();
+            if (store) {
+                manifest.hasStore = true;
+                manifest.store = store->stats() - before;
+            }
             manifest.jobs.assign(
                 engine.manifest().begin() +
                     static_cast<std::ptrdiff_t>(firstJob),
@@ -208,6 +258,8 @@ main(int argc, char **argv)
     }
     if (opts.json)
         std::printf("]\n");
+    if (store && opts.storeStats)
+        printStoreStats(*store);
     // Checkers are observe-only, so a violation never perturbs the
     // figure output above — it only turns the exit code red.
     return check::processExitCode();

@@ -1,24 +1,34 @@
 #!/usr/bin/env python3
 """Project-specific lint gate.
 
-Five repo invariants that neither the compiler nor clang-tidy can
+Seven repo invariants that neither the compiler nor clang-tidy can
 see, each of which has bitten (or nearly bitten) a past PR:
 
   1. Every registered figure has a checked-in golden
      (tests/golden/<name>.txt), so no figure dodges the output gate.
   2. Every golden belongs to a registered figure — orphans mean the
      gate is diffing against nothing.
-  3. Every SimResult field is surfaced by simResultJson() in
+  3. Every SimResult field is surfaced by SimResult::toJson() in
      src/mem/simresult.cc, so new counters cannot silently stay out
      of the machine-readable output the perf trajectory is tracked
      with.
-  4. No naked new/delete outside the dedicated storage code: the
+  4. Every stored SimResult field also round-trips through
+     SimResult::fromJson() — the content-addressed result store
+     persists results as toJson() text, so a counter that toJson()
+     writes but fromJson() drops would silently zero itself on every
+     store hit.
+  5. No naked new/delete outside the dedicated storage code: the
      simulator's hot-path storage is slab/sliding-queue based, and
      ad-hoc ownership has no place next to it.
-  5. Every CpiBucket enum entry has a cpiBucketName() label (which
-     simResultJson() surfaces) and a row in the README's CPI-bucket
-     table, and vice versa — a bucket nobody can read about or parse
-     out of the JSON is dead observability.
+  6. Every CpiBucket enum entry has a cpiBucketName() label (which
+     toJson() surfaces) and a row in the README's CPI-bucket table,
+     and vice versa — a bucket nobody can read about or parse out of
+     the JSON is dead observability.
+  7. Every data member of the machine-config structs (OooConfig,
+     RefConfig, MemConfig, TlbConfig, LatencyTable) is serialized in
+     the config-key region of src/harness/sweep.cc (or explicitly
+     allowlisted as observe-only) — a knob missing from
+     sweepConfigKey() would alias store entries of runs that set it.
 
 Exit code: 0 clean, 1 violations (each printed as "LINT: ...").
 """
@@ -95,52 +105,77 @@ for name, binary in sorted(figures.items()):
             f"bench/{binary}.cc does not exist")
 
 # ---------------------------------------------------------------
-# Rule 3: every SimResult field surfaced by simResultJson().
+# Rules 3 + 4: every SimResult field surfaced by toJson(), every
+# stored field round-tripped by fromJson().
 # ---------------------------------------------------------------
 
-def simresult_fields() -> list:
-    """Member and derived-accessor names of struct SimResult."""
+# Member functions of SimResult that the accessor regex sees but
+# that are serialization machinery, not derived metrics.
+SIMRESULT_NON_FIELDS = {"toJson"}
+
+
+def simresult_fields() -> tuple:
+    """(data members, derived accessors) of struct SimResult."""
     src = (ROOT / "src/mem/simresult.hh").read_text()
     m = re.search(r"struct SimResult\s*\{(.*)\n\};", src, re.S)
     if not m:
         err("cannot find struct SimResult in src/mem/simresult.hh")
-        return []
+        return [], []
     body = m.group(1)
     body = re.sub(r"/\*.*?\*/", "", body, flags=re.S)
     body = re.sub(r"//[^\n]*", "", body)
-    names = []
+    # Class-level constants (kResultSchemaVersion) are not result
+    # fields.
+    body = re.sub(r"^\s*static [^;]*;", "", body, flags=re.M)
+    stored = []
     # Data members: "type name = init;" or "type name;" (incl. the
     # braced-init arrays), one per line.
     for dm in re.finditer(
             r"^\s+[A-Za-z_][\w:<>, ]*?\s+(\w+)\s*(?:=[^;]*|\{\})?;",
             body, re.M):
-        names.append(dm.group(1))
+        stored.append(dm.group(1))
     # Derived accessors: "type name() const".
-    for fm in re.finditer(r"(\w+)\(\)\s*const", body):
-        names.append(fm.group(1))
-    return names
+    derived = [fm.group(1)
+               for fm in re.finditer(r"(\w+)\(\)\s*const", body)
+               if fm.group(1) not in SIMRESULT_NON_FIELDS]
+    return stored, derived
 
 
-fields = simresult_fields()
+stored_fields, derived_fields = simresult_fields()
+fields = stored_fields + derived_fields
 if len(fields) < 20:
     err(f"SimResult parse found only {len(fields)} fields; the "
         "parser is broken")
 
 renderer = (ROOT / "src/mem/simresult.cc").read_text()
-m = re.search(r"simResultJson\(.*", renderer, re.S)
-renderer_body = m.group(0) if m else ""
-if not renderer_body:
-    err("simResultJson() not found in src/mem/simresult.cc")
-for field in fields:
+to_json_at = renderer.find("SimResult::toJson")
+from_json_at = renderer.find("SimResult::fromJson")
+if to_json_at < 0 or from_json_at < 0 or from_json_at < to_json_at:
+    err("expected SimResult::toJson() followed by "
+        "SimResult::fromJson() in src/mem/simresult.cc")
+    to_json_at = from_json_at = 0
+to_json_body = renderer[to_json_at:from_json_at]
+from_json_body = renderer[from_json_at:]
+
+
+def surfaces(body: str, field: str) -> bool:
     # The key appears either as a plain argument ("cycles") or as an
     # escaped JSON key inside a larger literal (\"program\").
-    if (f'"{field}"' not in renderer_body and
-            f'\\"{field}\\"' not in renderer_body):
+    return (f'"{field}"' in body or f'\\"{field}\\"' in body)
+
+
+for field in fields:
+    if not surfaces(to_json_body, field):
         err(f"SimResult field '{field}' is not surfaced by "
-            "simResultJson() in src/mem/simresult.cc")
+            "SimResult::toJson() in src/mem/simresult.cc")
+for field in stored_fields:
+    if not surfaces(from_json_body, field):
+        err(f"stored SimResult field '{field}' is not parsed back by "
+            "SimResult::fromJson() in src/mem/simresult.cc — a "
+            "result-store hit would silently drop it")
 
 # ---------------------------------------------------------------
-# Rule 4: no naked new/delete outside dedicated storage code.
+# Rule 5: no naked new/delete outside dedicated storage code.
 # ---------------------------------------------------------------
 
 NEW_RE = re.compile(r"\bnew\b\s+[A-Za-z_(]")
@@ -162,7 +197,7 @@ for sub in ("src", "bench", "examples"):
                     "slab, a container, or a smart pointer")
 
 # ---------------------------------------------------------------
-# Rule 5: CpiBucket enum <-> cpiBucketName() labels <-> README
+# Rule 6: CpiBucket enum <-> cpiBucketName() labels <-> README
 # bucket table, all three in sync, both directions.
 # ---------------------------------------------------------------
 
@@ -220,9 +255,83 @@ for label in readme_labels:
         err(f"README CPI-bucket table row '{label}' matches no "
             "cpiBucketName() label")
 
+# ---------------------------------------------------------------
+# Rule 7: every machine-config data member is serialized in the
+# config-key region of src/harness/sweep.cc (or allowlisted).
+# ---------------------------------------------------------------
+
+# Observe-only knobs that never change a simulation result:
+# checkLevel (the invariant audit observes, it never steers) and
+# pipeTracer (tracing jobs are made uncacheable instead of keyed).
+CONFIG_KEY_EXEMPT = {"checkLevel", "pipeTracer"}
+
+CONFIG_STRUCTS = [
+    ("OooConfig", "src/core/config.hh"),
+    ("RefConfig", "src/ref/refsim.hh"),
+    ("MemConfig", "src/mem/memsystem.hh"),
+    ("TlbConfig", "src/mem/tlb.hh"),
+    ("LatencyTable", "src/isa/latency.hh"),
+]
+
+
+def config_members(struct: str, rel: str) -> list:
+    """Data-member names of one config struct."""
+    src = (ROOT / rel).read_text()
+    m = re.search(r"struct " + struct + r"\s*\{(.*?)\n\};", src, re.S)
+    if not m:
+        err(f"cannot find struct {struct} in {rel}")
+        return []
+    body = m.group(1)
+    body = re.sub(r"/\*.*?\*/", "", body, flags=re.S)
+    body = re.sub(r"//[^\n]*", "", body)
+    # Data members always come first in these structs; truncate at
+    # the first inline member-function header (a line with "(" that
+    # is neither a declaration ending in ";" nor a member
+    # initializer containing "=") so function bodies — whose
+    # "return t;" lines would fool the declarator regex — are never
+    # scanned.
+    lines = []
+    for line in body.splitlines():
+        if "(" in line and "=" not in line and ";" not in line:
+            break
+        lines.append(line)
+    body = "\n".join(lines)
+    # Member declarations left: "type name;", "type name = init;".
+    return [dm.group(1) for dm in re.finditer(
+        r"^\s+[A-Za-z_][\w:<>,*& ]*?[\s*&](\w+)\s*(?:=[^;]*|\{\})?;",
+        body, re.M)]
+
+
+sweep_src = (ROOT / "src/harness/sweep.cc").read_text()
+key_regions = re.findall(
+    r"// BEGIN config-key fields(.*?)// END config-key fields",
+    sweep_src, re.S)
+if not key_regions:
+    err("no '// BEGIN config-key fields' region in "
+        "src/harness/sweep.cc")
+key_text = "\n".join(key_regions)
+
+config_member_count = 0
+for struct, rel in CONFIG_STRUCTS:
+    members = config_members(struct, rel)
+    if len(members) < 5:
+        err(f"{struct} parse found only {len(members)} members in "
+            f"{rel}; the parser is broken")
+    config_member_count += len(members)
+    for member in members:
+        if member in CONFIG_KEY_EXEMPT:
+            continue
+        if f".{member}" not in key_text:
+            err(f"{struct}::{member} ({rel}) is not serialized in "
+                "the config-key region of src/harness/sweep.cc — "
+                "runs differing only in it would alias one result-"
+                "store entry; key it (or allowlist it as observe-"
+                "only in scripts/lint_oova.py)")
+
 if errors:
     print(f"lint_oova: {len(errors)} violation(s)")
     sys.exit(1)
 print("lint_oova: all checks passed "
       f"({len(figures)} figures, {len(fields)} SimResult fields, "
-      f"{len(cpi_entries)} CPI buckets)")
+      f"{len(cpi_entries)} CPI buckets, "
+      f"{config_member_count} config-key members)")

@@ -189,6 +189,15 @@ uint64_t processViolationCount();
 /** Exit code for the current tally: 0 clean, 3 on violations. */
 int processExitCode();
 
+/**
+ * Fold @p count violations observed outside this process into the
+ * tally. The forked sweep backend runs jobs in worker processes
+ * whose tallies would otherwise die with them; each worker reports
+ * its count over the result pipe and the parent records it here, so
+ * processExitCode() is identical however the sweep was executed.
+ */
+void noteExternalViolations(uint64_t count);
+
 /** Reset the tally (tests only). */
 void resetProcessViolations();
 

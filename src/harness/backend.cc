@@ -1,0 +1,461 @@
+#include "harness/backend.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "check/check.hh"
+#include "common/logging.hh"
+#include "trace/trace_io.hh"
+
+namespace oova
+{
+
+JobOutcome
+runSweepJob(const TraceCache &traces, const SweepJob &job)
+{
+    JobOutcome o;
+    auto t0 = std::chrono::steady_clock::now();
+    const Trace &t =
+        job.inlineTrace ? *job.inlineTrace : traces.get(job.trace);
+    o.result = job.run(t);
+    o.wallMs = std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count();
+    if (o.result.program.empty())
+        o.result.program = job.trace;
+    return o;
+}
+
+namespace
+{
+
+unsigned
+defaultedWorkers(unsigned requested)
+{
+    if (requested != 0)
+        return requested;
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+} // namespace
+
+// ------------------------------------------------------ in-process
+
+InProcessBackend::InProcessBackend(const TraceCache &traces,
+                                   unsigned threads)
+    : traces_(traces), threads_(defaultedWorkers(threads))
+{
+}
+
+std::string
+InProcessBackend::describe() const
+{
+    return csprintf("in-process x%u", threads_);
+}
+
+std::vector<JobOutcome>
+InProcessBackend::run(const std::vector<SweepJob> &jobs)
+{
+    std::vector<JobOutcome> out(jobs.size());
+    std::atomic<size_t> done{0};
+
+    auto runOne = [&](size_t i) {
+        out[i] = runSweepJob(traces_, jobs[i]);
+        if (progress_)
+            progress_(done.fetch_add(1) + 1, jobs.size());
+    };
+
+    unsigned workers = threads_;
+    if (jobs.size() < workers)
+        workers = static_cast<unsigned>(jobs.size());
+
+    if (workers <= 1) {
+        for (size_t i = 0; i < jobs.size(); ++i)
+            runOne(i);
+        return out;
+    }
+
+    // Each worker claims the next unstarted index; results land in
+    // their submission-order slot, so completion order is invisible.
+    std::atomic<size_t> next{0};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+        pool.emplace_back([&] {
+            for (;;) {
+                size_t i = next.fetch_add(1);
+                if (i >= jobs.size())
+                    return;
+                try {
+                    runOne(i);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(error_mutex);
+                    if (!error)
+                        error = std::current_exception();
+                }
+            }
+        });
+    }
+    for (auto &t : pool)
+        t.join();
+    if (error)
+        std::rethrow_exception(error);
+    return out;
+}
+
+// ---------------------------------------------------------- forked
+
+namespace
+{
+
+/**
+ * One pipe frame: fixed header then @c len payload bytes. The
+ * sentinel frame (idx == kDoneIdx) ends a worker's stream and
+ * carries its invariant-audit violation delta in @c wallUs.
+ */
+struct FrameHeader
+{
+    uint32_t len = 0;
+    uint64_t idx = 0;
+    uint64_t wallUs = 0;
+};
+
+constexpr uint64_t kDoneIdx = ~0ull;
+/** Far above any toJson() payload; a violation means a torn pipe. */
+constexpr uint32_t kMaxFrameLen = 1u << 20;
+
+bool
+writeAll(int fd, const void *data, size_t n)
+{
+    const char *p = static_cast<const char *>(data);
+    while (n > 0) {
+        ssize_t w = ::write(fd, p, n);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += w;
+        n -= static_cast<size_t>(w);
+    }
+    return true;
+}
+
+bool
+readAll(int fd, void *data, size_t n)
+{
+    char *p = static_cast<char *>(data);
+    while (n > 0) {
+        ssize_t r = ::read(fd, p, n);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (r == 0)
+            return false; // EOF mid-frame
+        p += r;
+        n -= static_cast<size_t>(r);
+    }
+    return true;
+}
+
+bool
+sendFrame(int fd, uint64_t idx, uint64_t wallUs,
+          const std::string &payload)
+{
+    FrameHeader h;
+    h.len = static_cast<uint32_t>(payload.size());
+    h.idx = idx;
+    h.wallUs = wallUs;
+    return writeAll(fd, &h, sizeof(h)) &&
+           writeAll(fd, payload.data(), payload.size());
+}
+
+/**
+ * Worker-process body: run this worker's (round-robin) share of the
+ * batch, stream each result back, then the violation sentinel.
+ * Exits the process — never returns — and uses _exit so the child
+ * cannot flush inherited stdio buffers or run parent atexit hooks.
+ */
+[[noreturn]] void
+workerLoop(const TraceCache &traces,
+           const std::vector<SweepJob> &jobs, unsigned worker,
+           unsigned stride, int fd, uint64_t parentViolations)
+{
+    try {
+        for (size_t i = worker; i < jobs.size(); i += stride) {
+            JobOutcome o = runSweepJob(traces, jobs[i]);
+            auto us = static_cast<uint64_t>(o.wallMs * 1000.0);
+            if (!sendFrame(fd, i, us, o.result.toJson()))
+                _exit(1);
+        }
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "sweep worker %u: %s\n", worker,
+                     e.what());
+        _exit(1);
+    } catch (...) {
+        std::fprintf(stderr, "sweep worker %u: unknown exception\n",
+                     worker);
+        _exit(1);
+    }
+    // The child's tally was inherited from the parent at fork time;
+    // report only what this worker's jobs added.
+    uint64_t delta =
+        check::processViolationCount() - parentViolations;
+    if (!sendFrame(fd, kDoneIdx, delta, ""))
+        _exit(1);
+    _exit(0);
+}
+
+} // namespace
+
+ForkedBackend::ForkedBackend(const TraceCache &traces,
+                             unsigned workers)
+    : traces_(traces), workers_(defaultedWorkers(workers))
+{
+}
+
+std::string
+ForkedBackend::describe() const
+{
+    return csprintf("forked x%u", workers_);
+}
+
+std::vector<JobOutcome>
+ForkedBackend::run(const std::vector<SweepJob> &jobs)
+{
+    std::vector<JobOutcome> out(jobs.size());
+    if (jobs.empty())
+        return out;
+
+    // Generate every named trace up front (with a transient thread
+    // pool, matching the in-process backend's parallelism) so the
+    // forked children inherit the generated pages copy-on-write
+    // instead of each regenerating its own copies.
+    {
+        std::vector<std::string> names;
+        for (const auto &job : jobs)
+            if (!job.inlineTrace)
+                names.push_back(job.trace);
+        std::atomic<size_t> next{0};
+        unsigned genThreads = std::min<size_t>(
+            workers_, names.empty() ? 1 : names.size());
+        std::vector<std::thread> pool;
+        for (unsigned w = 0; w < genThreads; ++w)
+            pool.emplace_back([&] {
+                for (;;) {
+                    size_t i = next.fetch_add(1);
+                    if (i >= names.size())
+                        return;
+                    traces_.get(names[i]);
+                }
+            });
+        for (auto &t : pool)
+            t.join();
+    }
+
+    unsigned w = workers_;
+    if (jobs.size() < w)
+        w = static_cast<unsigned>(jobs.size());
+
+    uint64_t parentViolations = check::processViolationCount();
+
+    // Stdio buffers are duplicated into each child; flush now so a
+    // child can never replay half-written parent output.
+    std::fflush(stdout);
+    std::fflush(stderr);
+
+    std::vector<pid_t> pids(w, -1);
+    std::vector<int> readFds(w, -1);
+    for (unsigned k = 0; k < w; ++k) {
+        int fds[2];
+        if (::pipe(fds) != 0)
+            fatal("sweep: cannot create worker pipe");
+        pid_t pid = ::fork();
+        if (pid < 0)
+            fatal("sweep: cannot fork worker %u", k);
+        if (pid == 0) {
+            // Child: drop every parent-side read end, keep only our
+            // write end.
+            for (unsigned j = 0; j < k; ++j)
+                ::close(readFds[j]);
+            ::close(fds[0]);
+            workerLoop(traces_, jobs, k, w, fds[1],
+                       parentViolations);
+        }
+        ::close(fds[1]);
+        pids[k] = pid;
+        readFds[k] = fds[0];
+    }
+
+    // One reader thread per worker pipe: drains frames as they
+    // arrive (a full pipe would otherwise deadlock the worker) and
+    // scatters results into their submission-order slots — readers
+    // touch disjoint indices, so no lock is needed on `out`.
+    std::atomic<size_t> done{0};
+    std::atomic<uint64_t> childViolations{0};
+    std::atomic<bool> protocolOk{true};
+    std::vector<char> filled(jobs.size(), 0);
+    std::vector<std::thread> readers;
+    readers.reserve(w);
+    for (unsigned k = 0; k < w; ++k) {
+        readers.emplace_back([&, k] {
+            int fd = readFds[k];
+            std::string payload;
+            for (;;) {
+                FrameHeader h;
+                if (!readAll(fd, &h, sizeof(h))) {
+                    protocolOk = false; // EOF before the sentinel
+                    return;
+                }
+                if (h.idx == kDoneIdx) {
+                    childViolations += h.wallUs;
+                    return;
+                }
+                if (h.len > kMaxFrameLen ||
+                    h.idx >= jobs.size() || h.idx % w != k) {
+                    protocolOk = false;
+                    return;
+                }
+                payload.resize(h.len);
+                if (!readAll(fd, payload.data(), h.len)) {
+                    protocolOk = false;
+                    return;
+                }
+                size_t i = static_cast<size_t>(h.idx);
+                if (!SimResult::fromJson(payload, out[i].result)) {
+                    protocolOk = false;
+                    return;
+                }
+                out[i].wallMs =
+                    static_cast<double>(h.wallUs) / 1000.0;
+                filled[i] = 1;
+                if (progress_)
+                    progress_(done.fetch_add(1) + 1, jobs.size());
+            }
+        });
+    }
+    for (auto &t : readers)
+        t.join();
+    for (unsigned k = 0; k < w; ++k)
+        ::close(readFds[k]);
+
+    bool exitedClean = true;
+    for (unsigned k = 0; k < w; ++k) {
+        int status = 0;
+        if (::waitpid(pids[k], &status, 0) != pids[k] ||
+            !WIFEXITED(status) || WEXITSTATUS(status) != 0)
+            exitedClean = false;
+    }
+
+    bool complete = true;
+    for (char f : filled)
+        complete = complete && f;
+    if (!protocolOk || !exitedClean || !complete)
+        fatal("sweep: a forked worker died or broke protocol; "
+              "results would be incomplete");
+
+    check::noteExternalViolations(childViolations.load());
+    return out;
+}
+
+// ----------------------------------------------------------- store
+
+StoreBackend::StoreBackend(ResultStore &store,
+                           const TraceCache &traces,
+                           std::unique_ptr<SweepBackend> inner)
+    : store_(store), traces_(traces), inner_(std::move(inner))
+{
+}
+
+std::string
+StoreBackend::describe() const
+{
+    return "store+" + inner_->describe();
+}
+
+void
+StoreBackend::setProgress(std::function<void(size_t, size_t)> cb)
+{
+    progress_ = std::move(cb);
+}
+
+std::vector<JobOutcome>
+StoreBackend::run(const std::vector<SweepJob> &jobs)
+{
+    std::vector<JobOutcome> out(jobs.size());
+
+    // Hash inline (synthetic) traces at most once per batch; named
+    // traces are hashed once for the cache's lifetime.
+    std::map<const Trace *, uint64_t> inlineHashes;
+    auto traceHash = [&](const SweepJob &job) {
+        if (!job.inlineTrace)
+            return traces_.contentHash(job.trace);
+        const Trace *t = job.inlineTrace.get();
+        auto it = inlineHashes.find(t);
+        if (it == inlineHashes.end())
+            it = inlineHashes.emplace(t, traceContentHash(*t)).first;
+        return it->second;
+    };
+
+    std::vector<size_t> missIdx;
+    std::vector<SweepJob> missJobs;
+    std::vector<std::string> missKeys;
+    size_t hits = 0;
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        const SweepJob &job = jobs[i];
+        // Uncacheable jobs (empty configKey: prefetch dummies,
+        // observe-side-effect runs) always go to the inner backend.
+        std::string key;
+        if (!job.configKey.empty()) {
+            key = ResultStore::makeKey(traceHash(job), job.configKey,
+                                       traces_.scale());
+            if (store_.load(key, out[i].result)) {
+                out[i].fromStore = true;
+                ++hits;
+                continue;
+            }
+        }
+        missIdx.push_back(i);
+        missJobs.push_back(job);
+        missKeys.push_back(std::move(key));
+    }
+
+    if (progress_) {
+        if (hits)
+            progress_(hits, jobs.size());
+        // Re-base the inner backend's progress on top of the hits.
+        size_t total = jobs.size();
+        size_t base = hits;
+        inner_->setProgress([this, base, total](size_t d, size_t) {
+            progress_(base + d, total);
+        });
+    } else {
+        inner_->setProgress({});
+    }
+
+    if (missJobs.empty())
+        return out;
+    std::vector<JobOutcome> ran = inner_->run(missJobs);
+    for (size_t m = 0; m < missIdx.size(); ++m) {
+        if (!missKeys[m].empty())
+            store_.store(missKeys[m], ran[m].result);
+        out[missIdx[m]] = std::move(ran[m]);
+    }
+    return out;
+}
+
+} // namespace oova

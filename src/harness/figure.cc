@@ -12,6 +12,7 @@
 
 #include "check/check.hh"
 #include "common/logging.hh"
+#include "harness/backend.hh"
 
 namespace oova
 {
@@ -101,16 +102,35 @@ jsonManifest(std::ostringstream &os, const RunManifest &manifest)
     os << "  \"manifest\": {\n";
     os << "    \"schemaVersion\": " << RunManifest::kSchemaVersion
        << ",\n";
+    os << "    \"resultSchemaVersion\": "
+       << manifest.resultSchemaVersion << ",\n";
     os << "    \"scale\": " << manifest.scale << ",\n";
     os << "    \"threads\": " << manifest.threads << ",\n";
+    os << "    \"backend\": \"" << jsonEscape(manifest.backend)
+       << "\",\n";
     os << csprintf("    \"wallMs\": %.3f,\n", manifest.wallMs);
+    if (manifest.hasStore) {
+        const StoreStats &s = manifest.store;
+        os << csprintf("    \"store\": {\"hits\": %llu, "
+                       "\"misses\": %llu, \"stores\": %llu, "
+                       "\"bytesRead\": %llu, "
+                       "\"bytesWritten\": %llu},\n",
+                       static_cast<unsigned long long>(s.hits),
+                       static_cast<unsigned long long>(s.misses),
+                       static_cast<unsigned long long>(s.stores),
+                       static_cast<unsigned long long>(s.bytesRead),
+                       static_cast<unsigned long long>(
+                           s.bytesWritten));
+    }
     os << "    \"jobs\": [";
     for (size_t i = 0; i < manifest.jobs.size(); ++i) {
         const JobRecord &job = manifest.jobs[i];
         os << (i ? ",\n      " : "\n      ");
         os << "{\"program\": \"" << jsonEscape(job.program)
            << "\", \"machine\": \"" << jsonEscape(job.machine)
-           << "\", " << csprintf("\"wallMs\": %.3f}", job.wallMs);
+           << "\", " << csprintf("\"wallMs\": %.3f, ", job.wallMs)
+           << "\"cached\": " << (job.cached ? "true" : "false")
+           << "}";
     }
     os << (manifest.jobs.empty() ? "]\n" : "\n    ]\n");
     os << "  },\n";
@@ -155,6 +175,56 @@ renderFigureJson(const FigureDef &fig, const FigureResult &result,
     return os.str();
 }
 
+namespace
+{
+
+/**
+ * Match argv[i] against a value-taking @p flag, accepting both the
+ * "--flag value" and "--flag=value" spellings. Returns 1 with
+ * @p value set (advancing @p i past a separate value), 0 when
+ * argv[i] is some other flag, -1 when the value is missing.
+ */
+int
+takeValue(int argc, char **argv, int &i, const char *flag,
+          const char **value)
+{
+    const char *arg = argv[i];
+    size_t n = std::strlen(flag);
+    if (std::strncmp(arg, flag, n) != 0)
+        return 0;
+    if (arg[n] == '=') {
+        *value = arg + n + 1;
+        return 1;
+    }
+    if (arg[n] != '\0')
+        return 0; // longer flag sharing the prefix, e.g. --store-stats
+    if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        return -1;
+    }
+    *value = argv[++i];
+    return 1;
+}
+
+/** Shared --threads/--workers validation: digits only, sane ceiling. */
+bool
+parseWorkerCount(const char *flag, const char *val, unsigned &out)
+{
+    // strtoul silently wraps negative input ("-3" becomes a huge
+    // unsigned), so insist on digits and a sane ceiling.
+    char *end = nullptr;
+    unsigned long n = std::strtoul(val, &end, 10);
+    if (!std::isdigit(static_cast<unsigned char>(val[0])) ||
+        end == val || *end != '\0' || n > kMaxSweepThreads) {
+        std::fprintf(stderr, "bad %s '%s'\n", flag, val);
+        return false;
+    }
+    out = static_cast<unsigned>(n);
+    return true;
+}
+
+} // namespace
+
 int
 parseCommonFlag(int argc, char **argv, int &i, FigureOptions &opts)
 {
@@ -167,39 +237,106 @@ parseCommonFlag(int argc, char **argv, int &i, FigureOptions &opts)
         opts.progress = true;
         return 1;
     }
-    if (std::strcmp(arg, "--threads") == 0) {
-        if (i + 1 >= argc) {
-            std::fprintf(stderr, "--threads needs a value\n");
-            return -1;
-        }
-        // strtoul silently wraps negative input ("-3" becomes a
-        // huge unsigned), so insist on digits and a sane ceiling.
-        const char *val = argv[++i];
-        char *end = nullptr;
-        unsigned long n = std::strtoul(val, &end, 10);
-        if (!std::isdigit(static_cast<unsigned char>(val[0])) ||
-            end == val || *end != '\0' || n > kMaxSweepThreads) {
-            std::fprintf(stderr, "bad --threads '%s'\n", val);
-            return -1;
-        }
-        opts.threads = static_cast<unsigned>(n);
+    if (std::strcmp(arg, "--store-stats") == 0) {
+        opts.storeStats = true;
         return 1;
     }
-    if (std::strcmp(arg, "--scale") == 0) {
-        if (i + 1 >= argc) {
-            std::fprintf(stderr, "--scale needs a value\n");
+    const char *val = nullptr;
+    int r;
+    if ((r = takeValue(argc, argv, i, "--threads", &val)) != 0) {
+        if (r < 0 || !parseWorkerCount("--threads", val, opts.threads))
             return -1;
-        }
+        opts.threadsSet = true;
+        return 1;
+    }
+    if ((r = takeValue(argc, argv, i, "--workers", &val)) != 0) {
+        if (r < 0 || !parseWorkerCount("--workers", val, opts.workers))
+            return -1;
+        opts.workersSet = true;
+        return 1;
+    }
+    if ((r = takeValue(argc, argv, i, "--scale", &val)) != 0) {
+        if (r < 0)
+            return -1;
         char *end = nullptr;
-        opts.scale = std::strtod(argv[++i], &end);
-        if (end == argv[i] || *end != '\0' ||
+        opts.scale = std::strtod(val, &end);
+        if (end == val || *end != '\0' ||
             !std::isfinite(opts.scale) || opts.scale <= 0.0) {
-            std::fprintf(stderr, "bad --scale '%s'\n", argv[i]);
+            std::fprintf(stderr, "bad --scale '%s'\n", val);
             return -1;
         }
+        return 1;
+    }
+    if ((r = takeValue(argc, argv, i, "--store", &val)) != 0) {
+        if (r < 0)
+            return -1;
+        if (val[0] == '\0') {
+            std::fprintf(stderr, "bad --store ''\n");
+            return -1;
+        }
+        opts.storeDir = val;
         return 1;
     }
     return 0;
+}
+
+bool
+validateFigureOptions(const FigureOptions &opts)
+{
+    if (opts.threadsSet && opts.workersSet) {
+        std::fprintf(
+            stderr,
+            "--threads and --workers are mutually exclusive: "
+            "--threads sizes the in-process thread pool, --workers "
+            "switches to forked worker processes; pass exactly "
+            "one\n");
+        return false;
+    }
+    if (opts.storeStats && opts.storeDir.empty()) {
+        std::fprintf(stderr,
+                     "--store-stats needs --store DIR (there are no "
+                     "counters without a store)\n");
+        return false;
+    }
+    return true;
+}
+
+SweepEngine
+makeSweepEngine(const TraceCache &traces, const FigureOptions &opts,
+                ResultStore *store)
+{
+    std::unique_ptr<SweepBackend> backend;
+    if (opts.workersSet)
+        backend =
+            std::make_unique<ForkedBackend>(traces, opts.workers);
+    else
+        backend =
+            std::make_unique<InProcessBackend>(traces, opts.threads);
+    if (store)
+        backend = std::make_unique<StoreBackend>(*store, traces,
+                                                 std::move(backend));
+    return SweepEngine(traces, std::move(backend));
+}
+
+void
+printStoreStats(const ResultStore &store)
+{
+    StoreStats s = store.stats();
+    uint64_t lookups = s.hits + s.misses;
+    double rate = lookups == 0
+                      ? 0.0
+                      : 100.0 * static_cast<double>(s.hits) /
+                            static_cast<double>(lookups);
+    std::fprintf(stderr,
+                 "[store] dir=%s hits=%llu misses=%llu stores=%llu "
+                 "bytesRead=%llu bytesWritten=%llu hitRate=%.1f%%\n",
+                 store.dir().c_str(),
+                 static_cast<unsigned long long>(s.hits),
+                 static_cast<unsigned long long>(s.misses),
+                 static_cast<unsigned long long>(s.stores),
+                 static_cast<unsigned long long>(s.bytesRead),
+                 static_cast<unsigned long long>(s.bytesWritten),
+                 rate);
 }
 
 void
@@ -230,6 +367,33 @@ installProgressMeter(SweepEngine &engine)
     });
 }
 
+namespace
+{
+
+/** Shared by --help (stdout, exit 0) and bad usage (stderr, exit 2). */
+constexpr char kFigureUsage[] =
+    "[--threads N | --workers N] [--store DIR] [--store-stats]\n"
+    "       [--json] [--progress] [--scale S]\n"
+    "\n"
+    "  --threads N     in-process worker threads (default backend; "
+    "0 = all cores)\n"
+    "  --workers N     forked worker processes instead of threads "
+    "(0 = all cores)\n"
+    "                  --threads and --workers are mutually "
+    "exclusive: neither\n"
+    "                  takes precedence, passing both is an error\n"
+    "  --store DIR     content-addressed result store: serve "
+    "previously computed\n"
+    "                  results from DIR, persist fresh results into "
+    "it\n"
+    "  --store-stats   print the [store] hit/miss line to stderr "
+    "(needs --store)\n"
+    "  --json          machine-readable output with a run manifest\n"
+    "  --progress      per-job heartbeat on stderr\n"
+    "  --scale S       trace scale (overrides OOVA_SCALE)";
+
+} // namespace
+
 int
 runFigureMain(const std::string &name, int argc, char **argv)
 {
@@ -237,17 +401,21 @@ runFigureMain(const std::string &name, int argc, char **argv)
     opts.scale = envTraceScale();
 
     for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--help") == 0) {
+            std::printf("usage: %s %s\n", argv[0], kFigureUsage);
+            return 0;
+        }
         int r = parseCommonFlag(argc, argv, i, opts);
         if (r < 0)
             return 2;
         if (r == 0) {
-            std::fprintf(stderr,
-                         "usage: %s [--threads N] [--json] "
-                         "[--progress] [--scale S]\n",
-                         argv[0]);
+            std::fprintf(stderr, "usage: %s %s\n", argv[0],
+                         kFigureUsage);
             return 2;
         }
     }
+    if (!validateFigureOptions(opts))
+        return 2;
 
     const FigureDef *fig = findFigure(name);
     if (!fig) {
@@ -256,7 +424,10 @@ runFigureMain(const std::string &name, int argc, char **argv)
     }
 
     TraceCache traces(opts.scale);
-    SweepEngine engine(traces, opts.threads);
+    std::unique_ptr<ResultStore> store;
+    if (!opts.storeDir.empty())
+        store = std::make_unique<ResultStore>(opts.storeDir);
+    SweepEngine engine = makeSweepEngine(traces, opts, store.get());
     if (opts.progress)
         installProgressMeter(engine);
     if (opts.json)
@@ -268,9 +439,14 @@ runFigureMain(const std::string &name, int argc, char **argv)
         RunManifest manifest;
         manifest.scale = traces.scale();
         manifest.threads = engine.threads();
+        manifest.backend = engine.backendName();
         manifest.wallMs = std::chrono::duration<double, std::milli>(
                               std::chrono::steady_clock::now() - t0)
                               .count();
+        if (store) {
+            manifest.hasStore = true;
+            manifest.store = store->stats();
+        }
         manifest.jobs = engine.manifest();
         out = renderFigureJson(*fig, result, traces.scale(),
                                engine.threads(), &manifest);
@@ -278,6 +454,8 @@ runFigureMain(const std::string &name, int argc, char **argv)
         out = renderFigureText(*fig, result, traces.scale());
     }
     std::fputs(out.c_str(), stdout);
+    if (store && opts.storeStats)
+        printStoreStats(*store);
     // Invariant-audit violations (observe-only, reported on stderr)
     // turn the exit code red without touching the figure output.
     return check::processExitCode();

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/table.hh"
+#include "harness/resultstore.hh"
 #include "harness/sweep.hh"
 
 namespace oova
@@ -77,11 +78,22 @@ std::string renderFigureText(const FigureDef &fig,
  */
 struct RunManifest
 {
-    /** Bump when the JSON envelope's shape changes. */
-    static constexpr int kSchemaVersion = 1;
+    /**
+     * Bump when the JSON envelope's shape changes. v2: added
+     * resultSchemaVersion, the backend description, the optional
+     * store-stats block, and the per-job "cached" flag.
+     */
+    static constexpr int kSchemaVersion = 2;
+    /** SimResult::kResultSchemaVersion in force when this ran. */
+    int resultSchemaVersion = SimResult::kResultSchemaVersion;
     double scale = 1.0;   ///< effective OOVA_SCALE
     unsigned threads = 1; ///< sweep worker count
+    /** Backend self-description, e.g. "store+forked x4". */
+    std::string backend;
     double wallMs = 0.0;  ///< wall time for the whole figure
+    /** Result-store traffic for this run; valid when hasStore. */
+    bool hasStore = false;
+    StoreStats store;
     std::vector<JobRecord> jobs;
 };
 
@@ -98,10 +110,47 @@ std::string renderFigureJson(const FigureDef &fig,
 struct FigureOptions
 {
     unsigned threads = 0; ///< 0 = hardware concurrency
+    /**
+     * --threads and --workers select competing execution backends
+     * (in-process thread pool vs. forked processes), so passing both
+     * is rejected by validateFigureOptions() rather than one
+     * silently winning. The *Set flags record what was given.
+     */
+    bool threadsSet = false;
+    unsigned workers = 0; ///< 0 = hardware concurrency
+    bool workersSet = false;
     bool json = false;
     bool progress = false; ///< stderr heartbeat while sweeping
     double scale = 1.0;
+    /** Result-store directory (--store); empty = no store. */
+    std::string storeDir;
+    /** Print the [store] hit/miss line to stderr (--store-stats). */
+    bool storeStats = false;
 };
+
+/**
+ * Cross-flag validation after parsing: rejects --threads combined
+ * with --workers and --store-stats without --store, with an
+ * explanatory message on stderr. Returns false on rejection.
+ */
+bool validateFigureOptions(const FigureOptions &opts);
+
+/**
+ * Build the engine the options ask for: a ForkedBackend under
+ * --workers, otherwise an InProcessBackend, either wrapped in a
+ * StoreBackend when @p store is non-null.
+ */
+SweepEngine makeSweepEngine(const TraceCache &traces,
+                            const FigureOptions &opts,
+                            ResultStore *store);
+
+/**
+ * One machine-parseable summary line on stderr:
+ * "[store] dir=... hits=... misses=... stores=... bytesRead=...
+ *  bytesWritten=... hitRate=...%". Never stdout, so figure output
+ * and goldens are unaffected.
+ */
+void printStoreStats(const ResultStore &store);
 
 /**
  * Install the --progress heartbeat on @p engine: a per-job stderr
@@ -118,19 +167,21 @@ constexpr unsigned kMaxSweepThreads = 4096;
 
 /**
  * Try to consume argv[i] (and its value, if any) as one of the
- * common flags --threads N / --json / --progress / --scale S.
- * Returns 1 if
- * consumed (advancing @p i past any value), 0 if argv[i] is not a
- * common flag, -1 on a malformed value (after printing an error to
- * stderr).
+ * common flags --threads N / --workers N / --json / --progress /
+ * --scale S / --store DIR / --store-stats (value-taking flags also
+ * accept the --flag=value spelling). Returns 1 if consumed
+ * (advancing @p i past any value), 0 if argv[i] is not a common
+ * flag, -1 on a malformed value (after printing an error to stderr).
+ * Cross-flag rules are validateFigureOptions()'s job, once parsing
+ * is done.
  */
 int parseCommonFlag(int argc, char **argv, int &i,
                     FigureOptions &opts);
 
 /**
- * Shared main() for the per-figure bench binaries: parses
- * [--threads N] [--json] [--progress] [--scale S], runs figure
- * @p name and prints it. Returns the process exit code.
+ * Shared main() for the per-figure bench binaries: parses the
+ * common flags (plus --help), runs figure @p name through
+ * makeSweepEngine() and prints it. Returns the process exit code.
  */
 int runFigureMain(const std::string &name, int argc, char **argv);
 

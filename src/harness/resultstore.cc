@@ -1,0 +1,162 @@
+#include "harness/resultstore.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <unistd.h>
+
+#include "common/logging.hh"
+
+namespace oova
+{
+
+namespace
+{
+
+uint64_t
+fnv1a(const std::string &s, uint64_t hash)
+{
+    for (unsigned char c : s)
+        hash = (hash ^ c) * 1099511628211ull;
+    return hash;
+}
+
+} // namespace
+
+ResultStore::ResultStore(std::string dir) : dir_(std::move(dir))
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    if (ec || !std::filesystem::is_directory(dir_))
+        fatal("cannot create result store directory '%s'",
+              dir_.c_str());
+}
+
+std::string
+ResultStore::makeKey(uint64_t traceHash, const std::string &configKey,
+                     double scale)
+{
+    // Everything that can change a result, in one canonical string.
+    // %.17g round-trips every double exactly, so two processes with
+    // the same scale always derive the same key.
+    std::string material =
+        csprintf("schema=%d|trace=%016llx|cfg=%s|scale=%.17g",
+                 SimResult::kResultSchemaVersion,
+                 static_cast<unsigned long long>(traceHash),
+                 configKey.c_str(), scale);
+    // Two independent FNV-1a streams (offset basis vs. its
+    // complement) give a 128-bit key; collisions would silently
+    // serve the wrong result, so 64 bits alone is not enough.
+    uint64_t lo = fnv1a(material, 14695981039346656037ull);
+    uint64_t hi = fnv1a(material, ~14695981039346656037ull);
+    return csprintf("%016llx%016llx",
+                    static_cast<unsigned long long>(hi),
+                    static_cast<unsigned long long>(lo));
+}
+
+std::string
+ResultStore::entryPath(const std::string &key) const
+{
+    return dir_ + "/" + key + ".json";
+}
+
+std::string
+ResultStore::headerLine(const std::string &key) const
+{
+    // First line of every entry: self-describing and self-checking,
+    // so a renamed or truncated file can never parse as a hit.
+    return csprintf("OOVA-RESULT store=%d schema=%d key=%s",
+                    kStoreVersion, SimResult::kResultSchemaVersion,
+                    key.c_str());
+}
+
+bool
+ResultStore::load(const std::string &key, SimResult &out)
+{
+    auto miss = [&] {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.misses;
+        return false;
+    };
+
+    std::ifstream is(entryPath(key), std::ios::binary);
+    if (!is)
+        return miss();
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    if (!is.good() && !is.eof())
+        return miss();
+    std::string body = buf.str();
+
+    size_t nl = body.find('\n');
+    if (nl == std::string::npos ||
+        body.substr(0, nl) != headerLine(key))
+        return miss();
+    if (!SimResult::fromJson(body.substr(nl + 1), out))
+        return miss();
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.hits;
+    stats_.bytesRead += body.size();
+    return true;
+}
+
+void
+ResultStore::store(const std::string &key, const SimResult &res)
+{
+    std::string body = headerLine(key) + "\n" + res.toJson();
+
+    uint64_t seq;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        seq = tmpSeq_++;
+    }
+    // Unique per (process, thread-serialized sequence): concurrent
+    // writers — including other processes sharing the store — never
+    // collide on the temp name, and rename() makes the final entry
+    // appear atomically or not at all.
+    std::string tmp =
+        csprintf("%s/.tmp.%s.%d.%llu", dir_.c_str(), key.c_str(),
+                 static_cast<int>(::getpid()),
+                 static_cast<unsigned long long>(seq));
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        os.write(body.data(),
+                 static_cast<std::streamsize>(body.size()));
+        if (!os.good()) {
+            warn("result store: cannot write '%s'", tmp.c_str());
+            os.close();
+            std::remove(tmp.c_str());
+            return;
+        }
+    }
+    if (std::rename(tmp.c_str(), entryPath(key).c_str()) != 0) {
+        warn("result store: cannot publish '%s'",
+             entryPath(key).c_str());
+        std::remove(tmp.c_str());
+        return;
+    }
+
+    // Advisory provenance log; one formatted line per append so
+    // interleaved writers stay line-atomic in practice.
+    {
+        std::ofstream idx(dir_ + "/index.log",
+                          std::ios::app | std::ios::binary);
+        idx << csprintf("%s %s %s\n", key.c_str(),
+                        res.program.c_str(), res.machine.c_str());
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.stores;
+    stats_.bytesWritten += body.size();
+}
+
+StoreStats
+ResultStore::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+} // namespace oova

@@ -1,31 +1,113 @@
 #include "harness/sweep.hh"
 
-#include <atomic>
-#include <chrono>
-#include <exception>
-#include <thread>
-
 #include "common/logging.hh"
 #include "core/ideal.hh"
 #include "core/ooosim.hh"
+#include "harness/backend.hh"
 
 namespace oova
 {
 
+namespace
+{
+
+// BEGIN config-key fields
+//
+// Every data member of LatencyTable / TlbConfig / MemConfig /
+// RefConfig / OooConfig that can influence a simulation result must
+// be serialized between these markers — scripts/lint_oova.py fails
+// the build when a member of those structs is missing here, so a new
+// knob can never silently alias store entries of runs that set it.
+// Deliberately excluded (observe-only, results unaffected):
+// checkLevel, pipeTracer (tracing jobs are made uncacheable instead).
+
+std::string
+latKey(const LatencyTable &lat)
+{
+    return csprintf(
+        "lat{%u,%u,%u,%u,%u,%u,%u,%u,%u,%u}", lat.readXbar,
+        lat.writeXbarVector, lat.writeXbarScalar, lat.vectorStartup,
+        lat.moveLat, lat.addLogic, lat.mul, lat.divSqrt,
+        lat.memLatency, lat.branchMispredict);
+}
+
+std::string
+tlbKey(const TlbConfig &tlb)
+{
+    if (!tlb.enabled)
+        return "tlb{off}";
+    return csprintf("tlb{%u,%u,%u,%u,%u,%u,%u,%d}", tlb.entries,
+                    tlb.pageBytes, tlb.associativity, tlb.missPenalty,
+                    tlb.l2Entries, tlb.l2Associativity,
+                    tlb.l2HitPenalty, static_cast<int>(tlb.refill));
+}
+
+std::string
+memKey(const MemConfig &mem)
+{
+    return csprintf(
+        "mem{%d,%u,%d,%u,%u,%u,%u,%d,%u,%u,%u,%u,%u,%s}",
+        static_cast<int>(mem.model), mem.memUnits,
+        static_cast<int>(mem.lsPolicy), mem.banks, mem.addressPorts,
+        mem.bankBusyCycles, mem.interleaveBytes,
+        static_cast<int>(mem.backing), mem.cacheBytes, mem.lineBytes,
+        mem.associativity, mem.mshrs, mem.cacheHitLatency,
+        tlbKey(mem.tlb).c_str());
+}
+
+// END config-key fields
+
+} // namespace
+
+std::string
+sweepConfigKey(const RefConfig &cfg)
+{
+    // BEGIN config-key fields
+    return csprintf("REF/v1|%s|%d,%d,%u,%d|%s",
+                    latKey(cfg.lat).c_str(),
+                    static_cast<int>(cfg.modelPortConflicts),
+                    static_cast<int>(cfg.chainLoadsToFus),
+                    cfg.takenBranchPenalty,
+                    static_cast<int>(cfg.cpiStack),
+                    memKey(cfg.mem).c_str());
+    // END config-key fields
+}
+
+std::string
+sweepConfigKey(const OooConfig &cfg)
+{
+    // BEGIN config-key fields
+    return csprintf(
+        "OOO/v1|%s|%u,%u,%u,%u|%u,%u,%u,%u,%u,%u|%d,%d,%d,%u,%d|%s",
+        latKey(cfg.lat).c_str(), cfg.numPhysVRegs, cfg.numPhysARegs,
+        cfg.numPhysSRegs, cfg.numPhysMRegs, cfg.queueSize,
+        cfg.robSize, cfg.commitWidth, cfg.fetchBufferSize,
+        cfg.btbEntries, cfg.rasDepth, static_cast<int>(cfg.commit),
+        static_cast<int>(cfg.loadElim),
+        static_cast<int>(cfg.chainLoadsToFus), cfg.trapPenalty,
+        static_cast<int>(cfg.cpiStack), memKey(cfg.mem).c_str());
+    // END config-key fields
+}
+
 SweepJob
 refJob(std::string trace, RefConfig cfg)
 {
-    return {std::move(trace), [cfg](const Trace &t) {
-                return simulateRef(t, cfg);
-            }, nullptr};
+    return {std::move(trace),
+            [cfg](const Trace &t) { return simulateRef(t, cfg); },
+            nullptr, sweepConfigKey(cfg)};
 }
 
 SweepJob
 oooJob(std::string trace, OooConfig cfg)
 {
-    return {std::move(trace), [cfg](const Trace &t) {
-                return simulateOoo(t, cfg);
-            }, nullptr};
+    // A tracing run has an observation side effect (the tracer's
+    // event stream), so serving it from the store would lose the
+    // very output the caller asked for: mark it uncacheable.
+    std::string key =
+        cfg.pipeTracer ? std::string() : sweepConfigKey(cfg);
+    return {std::move(trace),
+            [cfg](const Trace &t) { return simulateOoo(t, cfg); },
+            nullptr, std::move(key)};
 }
 
 SweepJob
@@ -35,6 +117,8 @@ oooTraceJob(std::shared_ptr<const Trace> trace, OooConfig cfg)
     job.trace = trace->name();
     job.run = [cfg](const Trace &t) { return simulateOoo(t, cfg); };
     job.inlineTrace = std::move(trace);
+    if (!cfg.pipeTracer)
+        job.configKey = sweepConfigKey(cfg);
     return job;
 }
 
@@ -45,104 +129,75 @@ refTraceJob(std::shared_ptr<const Trace> trace, RefConfig cfg)
     job.trace = trace->name();
     job.run = [cfg](const Trace &t) { return simulateRef(t, cfg); };
     job.inlineTrace = std::move(trace);
+    job.configKey = sweepConfigKey(cfg);
     return job;
 }
 
 SweepJob
 idealJob(std::string trace)
 {
-    return {std::move(trace), [](const Trace &t) {
+    return {std::move(trace),
+            [](const Trace &t) {
                 SimResult r;
                 r.machine = "IDEAL";
                 r.cycles = idealCycles(t);
                 return r;
-            }, nullptr};
+            },
+            nullptr, "IDEAL/v1"};
 }
 
 SweepEngine::SweepEngine(const TraceCache &traces, unsigned threads)
-    : traces_(traces), threads_(threads)
+    : SweepEngine(traces,
+                  std::make_unique<InProcessBackend>(traces, threads))
 {
-    if (threads_ == 0) {
-        threads_ = std::thread::hardware_concurrency();
-        if (threads_ == 0)
-            threads_ = 1;
-    }
+}
+
+SweepEngine::SweepEngine(const TraceCache &traces,
+                         std::unique_ptr<SweepBackend> backend)
+    : traces_(traces), backend_(std::move(backend))
+{
+    sim_assert(backend_ != nullptr, "null sweep backend");
+}
+
+SweepEngine::~SweepEngine() = default;
+SweepEngine::SweepEngine(SweepEngine &&) noexcept = default;
+
+unsigned
+SweepEngine::threads() const
+{
+    return backend_->parallelism();
+}
+
+std::string
+SweepEngine::backendName() const
+{
+    return backend_->describe();
+}
+
+void
+SweepEngine::setProgress(std::function<void(size_t, size_t)> cb)
+{
+    backend_->setProgress(std::move(cb));
 }
 
 std::vector<SimResult>
 SweepEngine::run(const std::vector<SweepJob> &jobs) const
 {
-    std::vector<SimResult> results(jobs.size());
-    std::vector<double> wallMs(jobs.size(), 0.0);
-    std::atomic<size_t> done{0};
-
-    auto runOne = [&](size_t i) {
-        const SweepJob &job = jobs[i];
-        auto t0 = std::chrono::steady_clock::now();
-        const Trace &t = job.inlineTrace ? *job.inlineTrace
-                                         : traces_.get(job.trace);
-        results[i] = job.run(t);
-        wallMs[i] = std::chrono::duration<double, std::milli>(
-                        std::chrono::steady_clock::now() - t0)
-                        .count();
-        if (results[i].program.empty())
-            results[i].program = job.trace;
-        if (progress_)
-            progress_(done.fetch_add(1) + 1, jobs.size());
-    };
+    std::vector<JobOutcome> outcomes = backend_->run(jobs);
 
     // Prefetch dummies carry no machine label and are skipped, so
     // the manifest lists exactly the simulations that ran.
-    auto record = [&] {
-        if (!manifestEnabled_)
-            return;
-        for (size_t i = 0; i < jobs.size(); ++i) {
-            if (results[i].machine.empty())
-                continue;
-            manifest_.push_back({results[i].program,
-                                 results[i].machine, wallMs[i]});
-        }
-    };
+    if (manifestEnabled_)
+        for (const JobOutcome &o : outcomes)
+            if (!o.result.machine.empty())
+                manifest_.push_back({o.result.program,
+                                     o.result.machine, o.wallMs,
+                                     o.fromStore});
 
-    unsigned workers = threads_;
-    if (jobs.size() < workers)
-        workers = static_cast<unsigned>(jobs.size());
-
-    if (workers <= 1) {
-        for (size_t i = 0; i < jobs.size(); ++i)
-            runOne(i);
-        record();
-        return results;
-    }
-
-    // Each worker claims the next unstarted index; results land in
-    // their submission-order slot, so completion order is invisible.
-    std::atomic<size_t> next{0};
-    std::exception_ptr error;
-    std::mutex error_mutex;
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (unsigned w = 0; w < workers; ++w) {
-        pool.emplace_back([&] {
-            for (;;) {
-                size_t i = next.fetch_add(1);
-                if (i >= jobs.size())
-                    return;
-                try {
-                    runOne(i);
-                } catch (...) {
-                    std::lock_guard<std::mutex> lock(error_mutex);
-                    if (!error)
-                        error = std::current_exception();
-                }
-            }
-        });
-    }
-    for (auto &t : pool)
-        t.join();
-    if (error)
-        std::rethrow_exception(error);
-    record();
+    std::vector<SimResult> results;
+    results.reserve(outcomes.size());
+    for (JobOutcome &o : outcomes)
+        results.push_back(std::move(o.result));
     return results;
 }
 
@@ -152,8 +207,9 @@ SweepEngine::prefetch(const std::vector<std::string> &names) const
     std::vector<SweepJob> jobs;
     jobs.reserve(names.size());
     for (const auto &name : names)
-        jobs.push_back(
-            {name, [](const Trace &) { return SimResult{}; }, nullptr});
+        jobs.push_back({name,
+                        [](const Trace &) { return SimResult{}; },
+                        nullptr, std::string()});
     run(jobs);
 }
 

@@ -2,13 +2,16 @@
  * @file
  * The parallel sweep engine. Every paper figure is a sweep — a batch
  * of (benchmark × machine configuration) simulation jobs — and this
- * engine executes such a batch on a pool of worker threads, against
- * the shared TraceCache, returning results in submission order so
- * table layout is deterministic regardless of completion order.
+ * engine executes such a batch through a pluggable SweepBackend
+ * (in-process threads, forked worker processes, or either wrapped by
+ * the content-addressed result store), against the shared TraceCache,
+ * returning results in submission order so table layout is
+ * deterministic regardless of completion order.
  *
  * Jobs must be independent pure functions of (trace, config); both
  * simulators satisfy this, which is what makes the --threads 1 and
- * --threads N outputs bit-identical.
+ * --threads N (and --workers N, and warm-store) outputs
+ * bit-identical.
  */
 
 #ifndef OOVA_HARNESS_SWEEP_HH
@@ -27,6 +30,8 @@
 namespace oova
 {
 
+class SweepBackend;
+
 /** One unit of sweep work: a trace × a machine model. */
 struct SweepJob
 {
@@ -41,7 +46,25 @@ struct SweepJob
      * so several jobs can sweep configurations over one trace.
      */
     std::shared_ptr<const Trace> inlineTrace;
+    /**
+     * Canonical serialization of the complete machine configuration,
+     * produced by sweepConfigKey(); together with the trace content
+     * hash and scale it addresses this job's result in the
+     * ResultStore. Empty means uncacheable (prefetch dummies, jobs
+     * with observation side effects such as pipeline tracing).
+     */
+    std::string configKey;
 };
+
+/**
+ * Canonical config-key strings: every field that can influence a
+ * simulation result, enumerated explicitly (lint_oova.py checks the
+ * enumeration stays complete as configs grow). checkLevel is
+ * deliberately excluded — the invariant audit observes, it never
+ * steers results.
+ */
+std::string sweepConfigKey(const RefConfig &cfg);
+std::string sweepConfigKey(const OooConfig &cfg);
 
 /** Job running the reference (in-order) simulator. */
 SweepJob refJob(std::string trace, RefConfig cfg);
@@ -65,28 +88,41 @@ SweepJob idealJob(std::string trace);
 
 /**
  * One executed job's entry in the run manifest: what ran (program ×
- * machine label) and how long the job took on its worker thread,
- * trace generation included on a cache miss. The (program, machine,
- * scale) triple is the key the ROADMAP's sweep-farm result store
- * will address cached results by.
+ * machine label), how long the job took on its worker, and whether
+ * the result was served from the result store instead of simulated.
  */
 struct JobRecord
 {
     std::string program;
     std::string machine;
     double wallMs = 0.0;
+    bool cached = false;
 };
 
-/** Executes batches of SweepJobs on a worker pool. */
+/**
+ * Executes batches of SweepJobs through a SweepBackend. The engine
+ * owns manifest recording and prefetching; all execution policy
+ * (threads, processes, store) lives in the backend.
+ */
 class SweepEngine
 {
   public:
     /**
+     * In-process convenience constructor, the default everywhere a
+     * figure or test doesn't care about backends.
+     *
      * @param traces  shared trace cache (must outlive the engine)
      * @param threads worker count; 0 means hardware concurrency
      */
     explicit SweepEngine(const TraceCache &traces,
                          unsigned threads = 0);
+
+    /** Run batches through an explicit backend (takes ownership). */
+    SweepEngine(const TraceCache &traces,
+                std::unique_ptr<SweepBackend> backend);
+
+    ~SweepEngine();
+    SweepEngine(SweepEngine &&) noexcept;
 
     /**
      * Run all jobs and return their results, index-aligned with
@@ -100,20 +136,19 @@ class SweepEngine
      */
     void prefetch(const std::vector<std::string> &names) const;
 
-    unsigned threads() const { return threads_; }
+    /** The backend's worker parallelism (threads or processes). */
+    unsigned threads() const;
+    /** The backend's self-description, e.g. "store+forked x4". */
+    std::string backendName() const;
     const TraceCache &traces() const { return traces_; }
 
     /**
      * Install a per-job completion callback (jobs done, batch size),
-     * invoked from worker threads after every finished job — the
-     * callback must be thread-safe. Used by --progress; never called
-     * when unset, so the default costs nothing.
+     * invoked from workers after every finished job — the callback
+     * must be thread-safe. Used by --progress; never called when
+     * unset, so the default costs nothing.
      */
-    void
-    setProgress(std::function<void(size_t, size_t)> cb)
-    {
-        progress_ = std::move(cb);
-    }
+    void setProgress(std::function<void(size_t, size_t)> cb);
 
     /**
      * Record a JobRecord for every job of subsequent run() calls
@@ -129,8 +164,7 @@ class SweepEngine
 
   private:
     const TraceCache &traces_;
-    unsigned threads_;
-    std::function<void(size_t, size_t)> progress_;
+    std::unique_ptr<SweepBackend> backend_;
     bool manifestEnabled_ = false;
     /**
      * Appended after each batch's workers have joined (figures run

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "common/logging.hh"
+#include "trace/trace_io.hh"
 
 namespace oova
 {
@@ -40,8 +41,8 @@ TraceCache::TraceCache(double scale, Generator generator)
         entries_.try_emplace(name);
 }
 
-const Trace &
-TraceCache::get(const std::string &name) const
+TraceCache::Entry &
+TraceCache::generated(const std::string &name) const
 {
     auto it = entries_.find(name);
     if (it == entries_.end())
@@ -52,7 +53,22 @@ TraceCache::get(const std::string &name) const
         opts.scale = scale_;
         e.trace = generator_(name, opts);
     });
-    return e.trace;
+    return e;
+}
+
+const Trace &
+TraceCache::get(const std::string &name) const
+{
+    return generated(name).trace;
+}
+
+uint64_t
+TraceCache::contentHash(const std::string &name) const
+{
+    Entry &e = generated(name);
+    std::call_once(e.hashOnce,
+                   [&] { e.hash = traceContentHash(e.trace); });
+    return e.hash;
 }
 
 const std::vector<std::string> &

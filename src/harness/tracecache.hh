@@ -55,6 +55,14 @@ class TraceCache
      */
     const Trace &get(const std::string &name) const;
 
+    /**
+     * traceContentHash() of the named trace, generating it first if
+     * needed. Computed lazily, once per entry, under its own
+     * once_flag — runs that never consult the result store pay
+     * nothing. Thread-safe like get(); unknown names are fatal.
+     */
+    uint64_t contentHash(const std::string &name) const;
+
     /** All ten benchmark names, in the paper's order. */
     const std::vector<std::string> &names() const;
 
@@ -65,7 +73,11 @@ class TraceCache
     {
         std::once_flag once;
         Trace trace;
+        std::once_flag hashOnce;
+        uint64_t hash = 0;
     };
+
+    Entry &generated(const std::string &name) const;
 
     double scale_;
     Generator generator_;

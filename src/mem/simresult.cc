@@ -1,5 +1,7 @@
 #include "mem/simresult.hh"
 
+#include <cerrno>
+#include <cstdlib>
 #include <sstream>
 
 #include "common/logging.hh"
@@ -81,53 +83,55 @@ jsonString(const std::string &s)
 } // namespace
 
 std::string
-simResultJson(const SimResult &res)
+SimResult::toJson() const
 {
     std::ostringstream os;
     auto u64 = [&](const char *name, uint64_t v) {
         os << "  \"" << name << "\": " << v << ",\n";
     };
     os << "{\n";
-    os << "  \"program\": " << jsonString(res.program) << ",\n";
-    os << "  \"machine\": " << jsonString(res.machine) << ",\n";
-    u64("cycles", res.cycles);
-    u64("instructions", res.instructions);
+    os << "  \"resultSchemaVersion\": " << kResultSchemaVersion
+       << ",\n";
+    os << "  \"program\": " << jsonString(program) << ",\n";
+    os << "  \"machine\": " << jsonString(machine) << ",\n";
+    u64("cycles", cycles);
+    u64("instructions", instructions);
     os << "  \"stateCycles\": {";
     for (int s = 0; s < UnitStateBreakdown::kNumStates; ++s) {
         if (s)
             os << ", ";
         os << jsonString(UnitStateBreakdown::stateName(s)) << ": "
-           << res.stateCycles[static_cast<size_t>(s)];
+           << stateCycles[static_cast<size_t>(s)];
     }
     os << "},\n";
-    u64("fu1BusyCycles", res.fu1BusyCycles);
-    u64("fu2BusyCycles", res.fu2BusyCycles);
-    u64("memBusyCycles", res.memBusyCycles);
-    u64("memRequests", res.memRequests);
-    u64("memBankConflicts", res.memBankConflicts);
-    u64("memConflictCycles", res.memConflictCycles);
-    u64("memIndexedConflicts", res.memIndexedConflicts);
-    u64("memIndexedConflictCycles", res.memIndexedConflictCycles);
-    u64("cacheHits", res.cacheHits);
-    u64("cacheMisses", res.cacheMisses);
-    u64("mshrStallCycles", res.mshrStallCycles);
-    u64("tlbHits", res.tlbHits);
-    u64("tlbMisses", res.tlbMisses);
-    u64("tlbIndexedMisses", res.tlbIndexedMisses);
-    u64("tlbMissCycles", res.tlbMissCycles);
-    u64("vectorLoadsEliminated", res.vectorLoadsEliminated);
-    u64("scalarLoadsEliminated", res.scalarLoadsEliminated);
-    u64("branchMispredicts", res.branchMispredicts);
-    u64("renameStallCycles", res.renameStallCycles);
-    u64("robStallCycles", res.robStallCycles);
-    u64("queueStallCycles", res.queueStallCycles);
-    u64("traps", res.traps);
+    u64("fu1BusyCycles", fu1BusyCycles);
+    u64("fu2BusyCycles", fu2BusyCycles);
+    u64("memBusyCycles", memBusyCycles);
+    u64("memRequests", memRequests);
+    u64("memBankConflicts", memBankConflicts);
+    u64("memConflictCycles", memConflictCycles);
+    u64("memIndexedConflicts", memIndexedConflicts);
+    u64("memIndexedConflictCycles", memIndexedConflictCycles);
+    u64("cacheHits", cacheHits);
+    u64("cacheMisses", cacheMisses);
+    u64("mshrStallCycles", mshrStallCycles);
+    u64("tlbHits", tlbHits);
+    u64("tlbMisses", tlbMisses);
+    u64("tlbIndexedMisses", tlbIndexedMisses);
+    u64("tlbMissCycles", tlbMissCycles);
+    u64("vectorLoadsEliminated", vectorLoadsEliminated);
+    u64("scalarLoadsEliminated", scalarLoadsEliminated);
+    u64("branchMispredicts", branchMispredicts);
+    u64("renameStallCycles", renameStallCycles);
+    u64("robStallCycles", robStallCycles);
+    u64("queueStallCycles", queueStallCycles);
+    u64("traps", traps);
     os << "  \"stallCycles\": {";
     for (unsigned c = 0; c < kNumStallCauses; ++c) {
         if (c)
             os << ", ";
         os << jsonString(stallCauseName(static_cast<StallCause>(c)))
-           << ": " << res.stallCycles[c];
+           << ": " << stallCycles[c];
     }
     os << "},\n";
     os << "  \"cpiCycles\": {";
@@ -135,17 +139,332 @@ simResultJson(const SimResult &res)
         if (b)
             os << ", ";
         os << jsonString(cpiBucketName(static_cast<CpiBucket>(b)))
-           << ": " << res.cpiCycles[b];
+           << ": " << cpiCycles[b];
     }
     os << "},\n";
     // Derived accessors, so consumers need not re-implement them.
     os << csprintf("  \"portIdleFraction\": %.6f,\n",
-                   res.portIdleFraction());
-    u64("memStridedConflicts", res.memStridedConflicts());
-    u64("stridedTlbMisses", res.stridedTlbMisses());
-    os << csprintf("  \"ipc\": %.6f\n", res.ipc());
+                   portIdleFraction());
+    u64("memStridedConflicts", memStridedConflicts());
+    u64("stridedTlbMisses", stridedTlbMisses());
+    os << csprintf("  \"ipc\": %.6f\n", ipc());
     os << "}\n";
     return os.str();
+}
+
+namespace
+{
+
+/**
+ * Minimal strict cursor over the JSON subset toJson() emits:
+ * objects, strings, and numbers. Anything else is a parse failure —
+ * the caller treats that as a corrupt or stale record.
+ */
+class JsonCursor
+{
+  public:
+    explicit JsonCursor(const std::string &s)
+        : p_(s.data()), end_(s.data() + s.size())
+    {
+    }
+
+    /** Consume @p c (after whitespace); false if absent. */
+    bool
+    lit(char c)
+    {
+        ws();
+        if (p_ < end_ && *p_ == c) {
+            ++p_;
+            return true;
+        }
+        return false;
+    }
+
+    /** Whether @p c is next (after whitespace), without consuming. */
+    bool
+    peek(char c)
+    {
+        ws();
+        return p_ < end_ && *p_ == c;
+    }
+
+    /** Parse a quoted string, undoing jsonString()'s escapes. */
+    bool
+    str(std::string &out)
+    {
+        if (!lit('"'))
+            return false;
+        out.clear();
+        while (p_ < end_ && *p_ != '"') {
+            char c = *p_++;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (p_ >= end_)
+                return false;
+            char e = *p_++;
+            switch (e) {
+            case '"':
+            case '\\':
+            case '/':
+                out += e;
+                break;
+            case 'n':
+                out += '\n';
+                break;
+            case 't':
+                out += '\t';
+                break;
+            case 'u': {
+                if (end_ - p_ < 4)
+                    return false;
+                unsigned v = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = *p_++;
+                    v <<= 4;
+                    if (h >= '0' && h <= '9')
+                        v |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        v |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        v |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return false;
+                }
+                // The writer only escapes bytes below 0x20.
+                if (v > 0xff)
+                    return false;
+                out += static_cast<char>(v);
+                break;
+            }
+            default:
+                return false;
+            }
+        }
+        return lit('"');
+    }
+
+    /** Parse an unsigned decimal integer. */
+    bool
+    u64(uint64_t &v)
+    {
+        ws();
+        if (p_ >= end_ || *p_ < '0' || *p_ > '9')
+            return false;
+        char *end = nullptr;
+        errno = 0;
+        v = std::strtoull(p_, &end, 10);
+        if (end == p_ || errno == ERANGE)
+            return false;
+        p_ = end;
+        return true;
+    }
+
+    /** Validate-and-skip a number (derived double-valued keys). */
+    bool
+    skipNumber()
+    {
+        ws();
+        char *end = nullptr;
+        double v = std::strtod(p_, &end);
+        (void)v;
+        if (end == p_)
+            return false;
+        p_ = end;
+        return true;
+    }
+
+    /** True once only trailing whitespace remains. */
+    bool
+    atEnd()
+    {
+        ws();
+        return p_ == end_;
+    }
+
+  private:
+    void
+    ws()
+    {
+        while (p_ < end_ && (*p_ == ' ' || *p_ == '\n' ||
+                             *p_ == '\t' || *p_ == '\r'))
+            ++p_;
+    }
+
+    const char *p_;
+    const char *end_;
+};
+
+/**
+ * Parse one "{name: count, ...}" breakdown keyed by human-readable
+ * labels, requiring every label exactly once.
+ */
+template <typename NameFn>
+bool
+parseKeyedU64(JsonCursor &p, uint64_t *vals, unsigned n, NameFn name)
+{
+    if (!p.lit('{'))
+        return false;
+    unsigned seen = 0;
+    bool first = true;
+    while (!p.peek('}')) {
+        if (!first && !p.lit(','))
+            return false;
+        first = false;
+        std::string key;
+        uint64_t v = 0;
+        if (!p.str(key) || !p.lit(':') || !p.u64(v))
+            return false;
+        bool matched = false;
+        for (unsigned i = 0; i < n; ++i) {
+            if (key == name(i)) {
+                vals[i] = v;
+                matched = true;
+                break;
+            }
+        }
+        if (!matched)
+            return false;
+        ++seen;
+    }
+    return p.lit('}') && seen == n;
+}
+
+} // namespace
+
+bool
+SimResult::fromJson(const std::string &json, SimResult &out)
+{
+    SimResult r;
+    JsonCursor p(json);
+    if (!p.lit('{'))
+        return false;
+
+    // Every stored (non-derived) field must appear exactly once;
+    // kRequired is the count of ++required sites below.
+    constexpr unsigned kRequired = 29;
+    unsigned required = 0;
+    bool sawVersion = false;
+    bool first = true;
+
+    auto field = [&](uint64_t &dst, JsonCursor &c) {
+        uint64_t v = 0;
+        if (!c.u64(v))
+            return false;
+        dst = v;
+        ++required;
+        return true;
+    };
+
+    while (!p.peek('}')) {
+        if (!first && !p.lit(','))
+            return false;
+        first = false;
+        std::string key;
+        if (!p.str(key) || !p.lit(':'))
+            return false;
+        bool ok = true;
+        if (key == "resultSchemaVersion") {
+            uint64_t v = 0;
+            ok = p.u64(v) && v == kResultSchemaVersion;
+            sawVersion = ok;
+        } else if (key == "program") {
+            ok = p.str(r.program);
+            ++required;
+        } else if (key == "machine") {
+            ok = p.str(r.machine);
+            ++required;
+        } else if (key == "cycles") {
+            ok = field(r.cycles, p);
+        } else if (key == "instructions") {
+            ok = field(r.instructions, p);
+        } else if (key == "stateCycles") {
+            ok = parseKeyedU64(p, r.stateCycles.data(),
+                               UnitStateBreakdown::kNumStates,
+                               [](unsigned i) {
+                                   return UnitStateBreakdown::
+                                       stateName(static_cast<int>(i));
+                               });
+            ++required;
+        } else if (key == "fu1BusyCycles") {
+            ok = field(r.fu1BusyCycles, p);
+        } else if (key == "fu2BusyCycles") {
+            ok = field(r.fu2BusyCycles, p);
+        } else if (key == "memBusyCycles") {
+            ok = field(r.memBusyCycles, p);
+        } else if (key == "memRequests") {
+            ok = field(r.memRequests, p);
+        } else if (key == "memBankConflicts") {
+            ok = field(r.memBankConflicts, p);
+        } else if (key == "memConflictCycles") {
+            ok = field(r.memConflictCycles, p);
+        } else if (key == "memIndexedConflicts") {
+            ok = field(r.memIndexedConflicts, p);
+        } else if (key == "memIndexedConflictCycles") {
+            ok = field(r.memIndexedConflictCycles, p);
+        } else if (key == "cacheHits") {
+            ok = field(r.cacheHits, p);
+        } else if (key == "cacheMisses") {
+            ok = field(r.cacheMisses, p);
+        } else if (key == "mshrStallCycles") {
+            ok = field(r.mshrStallCycles, p);
+        } else if (key == "tlbHits") {
+            ok = field(r.tlbHits, p);
+        } else if (key == "tlbMisses") {
+            ok = field(r.tlbMisses, p);
+        } else if (key == "tlbIndexedMisses") {
+            ok = field(r.tlbIndexedMisses, p);
+        } else if (key == "tlbMissCycles") {
+            ok = field(r.tlbMissCycles, p);
+        } else if (key == "vectorLoadsEliminated") {
+            ok = field(r.vectorLoadsEliminated, p);
+        } else if (key == "scalarLoadsEliminated") {
+            ok = field(r.scalarLoadsEliminated, p);
+        } else if (key == "branchMispredicts") {
+            ok = field(r.branchMispredicts, p);
+        } else if (key == "renameStallCycles") {
+            ok = field(r.renameStallCycles, p);
+        } else if (key == "robStallCycles") {
+            ok = field(r.robStallCycles, p);
+        } else if (key == "queueStallCycles") {
+            ok = field(r.queueStallCycles, p);
+        } else if (key == "traps") {
+            ok = field(r.traps, p);
+        } else if (key == "stallCycles") {
+            ok = parseKeyedU64(p, r.stallCycles.data(),
+                               kNumStallCauses, [](unsigned i) {
+                                   return stallCauseName(
+                                       static_cast<StallCause>(i));
+                               });
+            ++required;
+        } else if (key == "cpiCycles") {
+            ok = parseKeyedU64(p, r.cpiCycles.data(), kNumCpiBuckets,
+                               [](unsigned i) {
+                                   return cpiBucketName(
+                                       static_cast<CpiBucket>(i));
+                               });
+            ++required;
+        } else if (key == "portIdleFraction" || key == "ipc") {
+            // Derived; validated, then recomputed from the fields.
+            ok = p.skipNumber();
+        } else if (key == "memStridedConflicts" ||
+                   key == "stridedTlbMisses") {
+            ok = p.skipNumber();
+        } else {
+            // Unknown key: a record from a different (future)
+            // schema, or corruption. Either way: not this version.
+            return false;
+        }
+        if (!ok)
+            return false;
+    }
+    if (!p.lit('}') || !p.atEnd())
+        return false;
+    if (!sawVersion || required != kRequired)
+        return false;
+    out = std::move(r);
+    return true;
 }
 
 } // namespace oova

@@ -68,6 +68,15 @@ const char *cpiBucketName(CpiBucket bucket);
 /** Aggregate outcome of simulating one trace on one machine. */
 struct SimResult
 {
+    /**
+     * Result-schema version, bumped whenever a field is added,
+     * removed, or changes meaning. toJson() embeds it, fromJson()
+     * rejects any other value, and the sweep-farm ResultStore folds
+     * it into the content-addressed key — so a stored record from an
+     * older schema is a clean miss, never a silent misparse.
+     */
+    static constexpr int kResultSchemaVersion = 2;
+
     std::string program;
     std::string machine;
 
@@ -149,16 +158,28 @@ struct SimResult
         return cycles ? static_cast<double>(instructions) / cycles
                       : 0.0;
     }
-};
 
-/**
- * Render every SimResult field (including the derived accessors) as
- * one JSON object. The scripts/lint_oova.py gate parses the struct
- * and fails if a field is added here without being surfaced there,
- * so new counters cannot silently dodge the machine-readable
- * output.
- */
-std::string simResultJson(const SimResult &res);
+    /**
+     * Render every field (including the derived accessors) as one
+     * JSON object, tagged with kResultSchemaVersion. The
+     * scripts/lint_oova.py gate parses the struct and fails if a
+     * field is added here without being surfaced there, so new
+     * counters cannot silently dodge the machine-readable output or
+     * the toJson()/fromJson() round trip.
+     */
+    std::string toJson() const;
+
+    /**
+     * Strict inverse of toJson(): parses one result object into
+     * @p out. Returns false — leaving @p out untouched — on
+     * malformed JSON, unknown keys, missing fields, or a schema
+     * version other than kResultSchemaVersion; the ResultStore
+     * treats every false as a cache miss. All stored fields are
+     * integers or strings, so the round trip is exact (derived
+     * double-valued keys are validated and recomputed, not stored).
+     */
+    static bool fromJson(const std::string &json, SimResult &out);
+};
 
 } // namespace oova
 

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <streambuf>
 
 #include "common/logging.hh"
 
@@ -191,6 +192,61 @@ loadTraceFile(Trace &out, const std::string &path)
     if (!is)
         return false;
     return loadTrace(out, is);
+}
+
+namespace
+{
+
+/**
+ * A streambuf that hashes every byte written instead of storing it,
+ * so traceContentHash() reuses saveTrace() verbatim — the hash
+ * covers exactly the serialized format, field order and all.
+ */
+class FnvStreambuf : public std::streambuf
+{
+  public:
+    uint64_t
+    hash() const
+    {
+        return hash_;
+    }
+
+  protected:
+    int
+    overflow(int ch) override
+    {
+        if (ch != traits_type::eof())
+            mix(static_cast<unsigned char>(ch));
+        return ch;
+    }
+
+    std::streamsize
+    xsputn(const char *s, std::streamsize n) override
+    {
+        for (std::streamsize i = 0; i < n; ++i)
+            mix(static_cast<unsigned char>(s[i]));
+        return n;
+    }
+
+  private:
+    void
+    mix(unsigned char b)
+    {
+        hash_ = (hash_ ^ b) * 1099511628211ull;
+    }
+
+    uint64_t hash_ = 14695981039346656037ull; // FNV-1a offset basis
+};
+
+} // namespace
+
+uint64_t
+traceContentHash(const Trace &trace)
+{
+    FnvStreambuf buf;
+    std::ostream os(&buf);
+    saveTrace(trace, os);
+    return buf.hash();
 }
 
 } // namespace oova

@@ -34,6 +34,16 @@ bool loadTrace(Trace &out, std::istream &is);
 /** Deserialize a trace from a file. */
 bool loadTraceFile(Trace &out, const std::string &path);
 
+/**
+ * 64-bit FNV-1a hash of the trace's serialized byte stream — the
+ * exact bytes saveTrace() would write, including the format
+ * magic/version and the trace name. Two traces hash equal iff their
+ * serialized forms are identical, and a trace-format version bump
+ * changes every hash; this is the trace half of the sweep-farm
+ * result-store key.
+ */
+uint64_t traceContentHash(const Trace &trace);
+
 } // namespace oova
 
 #endif // OOVA_TRACE_TRACE_IO_HH

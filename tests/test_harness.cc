@@ -337,6 +337,71 @@ TEST(FigureFlags, UnknownFlagIsNotConsumed)
     EXPECT_EQ(parseAll({"--frobnicate"}, opts), 0);
 }
 
+TEST(FigureFlags, ParsesSweepFarmFlags)
+{
+    FigureOptions opts;
+    EXPECT_EQ(parseAll({"--workers", "4", "--store", "/tmp/st",
+                        "--store-stats"},
+                       opts),
+              1);
+    EXPECT_TRUE(opts.workersSet);
+    EXPECT_EQ(opts.workers, 4u);
+    EXPECT_EQ(opts.storeDir, "/tmp/st");
+    EXPECT_TRUE(opts.storeStats);
+    EXPECT_FALSE(opts.threadsSet);
+
+    // --workers shares the --threads validation wholesale.
+    EXPECT_EQ(parseAll({"--workers", "-3"}, opts), -1);
+    EXPECT_EQ(parseAll({"--workers", "4x"}, opts), -1);
+    EXPECT_EQ(parseAll({"--workers"}, opts), -1);
+    EXPECT_EQ(parseAll({"--store"}, opts), -1);
+    EXPECT_EQ(parseAll({"--store", ""}, opts), -1);
+}
+
+TEST(FigureFlags, AcceptsEqualsSpellings)
+{
+    FigureOptions opts;
+    EXPECT_EQ(parseAll({"--threads=8", "--workers=2", "--scale=0.5",
+                        "--store=/tmp/st2"},
+                       opts),
+              1);
+    EXPECT_EQ(opts.threads, 8u);
+    EXPECT_EQ(opts.workers, 2u);
+    EXPECT_EQ(opts.scale, 0.5);
+    EXPECT_EQ(opts.storeDir, "/tmp/st2");
+    EXPECT_EQ(parseAll({"--threads="}, opts), -1);
+    EXPECT_EQ(parseAll({"--store="}, opts), -1);
+}
+
+TEST(FigureFlags, ValidateRejectsAmbiguousCombinations)
+{
+    // --threads and --workers pick competing backends; there is no
+    // sensible precedence, so the combination is an explicit error.
+    FigureOptions opts;
+    ASSERT_EQ(parseAll({"--threads", "2", "--workers", "2"}, opts),
+              1);
+    EXPECT_FALSE(validateFigureOptions(opts));
+
+    FigureOptions threadsOnly;
+    ASSERT_EQ(parseAll({"--threads", "2"}, threadsOnly), 1);
+    EXPECT_TRUE(validateFigureOptions(threadsOnly));
+
+    FigureOptions workersOnly;
+    ASSERT_EQ(parseAll({"--workers", "2"}, workersOnly), 1);
+    EXPECT_TRUE(validateFigureOptions(workersOnly));
+
+    // --store-stats without a store has nothing to report on.
+    FigureOptions statsOnly;
+    ASSERT_EQ(parseAll({"--store-stats"}, statsOnly), 1);
+    EXPECT_FALSE(validateFigureOptions(statsOnly));
+
+    FigureOptions storeAndStats;
+    ASSERT_EQ(parseAll({"--store", "/tmp/st", "--store-stats"},
+                       storeAndStats),
+              1);
+    EXPECT_TRUE(validateFigureOptions(storeAndStats));
+}
+
 TEST(FigureMain, UnknownFigureAndBadFlagsExitNonZero)
 {
     // runFigureMain is the entry point of every per-figure binary
@@ -353,6 +418,11 @@ TEST(FigureMain, UnknownFigureAndBadFlagsExitNonZero)
     const char *bad_scale[] = {"prog", "--scale", "0"};
     EXPECT_EQ(runFigureMain("fig4", 3,
                             const_cast<char **>(bad_scale)),
+              2);
+    const char *ambiguous[] = {"prog", "--threads", "2", "--workers",
+                               "2"};
+    EXPECT_EQ(runFigureMain("fig4", 5,
+                            const_cast<char **>(ambiguous)),
               2);
 }
 
@@ -386,7 +456,7 @@ TEST(SimResultJsonTest, SurfacesEveryCounter)
     res.stallCycles[static_cast<unsigned>(StallCause::Ports)] = 9;
     res.stateCycles[0] = 11;
 
-    std::string js = simResultJson(res);
+    std::string js = res.toJson();
     // Structure: one object, quoted string values escaped.
     EXPECT_EQ(js.front(), '{');
     EXPECT_EQ(js.substr(js.size() - 2), "}\n");

@@ -1,0 +1,440 @@
+/**
+ * @file
+ * Sweep-farm result store tests: the exact toJson()/fromJson()
+ * round trip the store persists records through, key stability and
+ * sensitivity, hit/miss/corruption behaviour of the on-disk store,
+ * concurrent writers, and warm-vs-cold equality through the
+ * StoreBackend.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+#include <thread>
+
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "common/pipetrace.hh"
+#include "harness/backend.hh"
+#include "harness/experiment.hh"
+#include "harness/figure.hh"
+#include "harness/resultstore.hh"
+#include "harness/sweep.hh"
+#include "trace/trace_io.hh"
+
+using namespace oova;
+
+namespace
+{
+
+constexpr double kScale = 0.25;
+
+/** A result with every stored field set to a distinct value. */
+SimResult
+fullyPopulatedResult()
+{
+    SimResult r;
+    r.program = "swm\"2\\56";   // exercises string escaping
+    r.machine = "OOOVA-16\n/t"; // and control-character escaping
+    r.cycles = 101;
+    r.instructions = 103;
+    for (size_t i = 0; i < r.stateCycles.size(); ++i)
+        r.stateCycles[i] = 200 + i;
+    r.fu1BusyCycles = 301;
+    r.fu2BusyCycles = 302;
+    r.memBusyCycles = 303;
+    r.memRequests = 304;
+    r.memBankConflicts = 305;
+    r.memConflictCycles = 306;
+    r.memIndexedConflicts = 105;
+    r.memIndexedConflictCycles = 308;
+    r.cacheHits = 309;
+    r.cacheMisses = 310;
+    r.mshrStallCycles = 311;
+    r.tlbHits = 312;
+    r.tlbMisses = 313;
+    r.tlbIndexedMisses = 114;
+    r.tlbMissCycles = 315;
+    r.vectorLoadsEliminated = 316;
+    r.scalarLoadsEliminated = 317;
+    r.branchMispredicts = 318;
+    r.renameStallCycles = 319;
+    r.robStallCycles = 320;
+    r.queueStallCycles = 321;
+    r.traps = 322;
+    for (size_t i = 0; i < r.stallCycles.size(); ++i)
+        r.stallCycles[i] = 400 + i;
+    for (size_t i = 0; i < r.cpiCycles.size(); ++i)
+        r.cpiCycles[i] = 500 + i;
+    return r;
+}
+
+/** Field-by-field equality of every stored SimResult field. */
+void
+expectSameResult(const SimResult &a, const SimResult &b)
+{
+    EXPECT_EQ(a.program, b.program);
+    EXPECT_EQ(a.machine, b.machine);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.stateCycles, b.stateCycles);
+    EXPECT_EQ(a.fu1BusyCycles, b.fu1BusyCycles);
+    EXPECT_EQ(a.fu2BusyCycles, b.fu2BusyCycles);
+    EXPECT_EQ(a.memBusyCycles, b.memBusyCycles);
+    EXPECT_EQ(a.memRequests, b.memRequests);
+    EXPECT_EQ(a.memBankConflicts, b.memBankConflicts);
+    EXPECT_EQ(a.memConflictCycles, b.memConflictCycles);
+    EXPECT_EQ(a.memIndexedConflicts, b.memIndexedConflicts);
+    EXPECT_EQ(a.memIndexedConflictCycles, b.memIndexedConflictCycles);
+    EXPECT_EQ(a.cacheHits, b.cacheHits);
+    EXPECT_EQ(a.cacheMisses, b.cacheMisses);
+    EXPECT_EQ(a.mshrStallCycles, b.mshrStallCycles);
+    EXPECT_EQ(a.tlbHits, b.tlbHits);
+    EXPECT_EQ(a.tlbMisses, b.tlbMisses);
+    EXPECT_EQ(a.tlbIndexedMisses, b.tlbIndexedMisses);
+    EXPECT_EQ(a.tlbMissCycles, b.tlbMissCycles);
+    EXPECT_EQ(a.vectorLoadsEliminated, b.vectorLoadsEliminated);
+    EXPECT_EQ(a.scalarLoadsEliminated, b.scalarLoadsEliminated);
+    EXPECT_EQ(a.branchMispredicts, b.branchMispredicts);
+    EXPECT_EQ(a.renameStallCycles, b.renameStallCycles);
+    EXPECT_EQ(a.robStallCycles, b.robStallCycles);
+    EXPECT_EQ(a.queueStallCycles, b.queueStallCycles);
+    EXPECT_EQ(a.traps, b.traps);
+    EXPECT_EQ(a.stallCycles, b.stallCycles);
+    EXPECT_EQ(a.cpiCycles, b.cpiCycles);
+}
+
+/** Fresh per-test store directory under the build tree. */
+std::string
+makeStoreDir(const char *tag)
+{
+    std::string dir =
+        csprintf(".teststore-%s-%d", tag, static_cast<int>(getpid()));
+    // Each test uses a distinct tag, so collisions only come from a
+    // previous crashed run of the same test; start clean anyway.
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+    return dir;
+}
+
+} // namespace
+
+// ------------------------------------------------- JSON round trip
+
+TEST(SimResultRoundTrip, EveryFieldSurvivesExactly)
+{
+    SimResult in = fullyPopulatedResult();
+    SimResult out;
+    ASSERT_TRUE(SimResult::fromJson(in.toJson(), out));
+    expectSameResult(in, out);
+    // Integer-only storage means the reserialization is bit-exact,
+    // which is what makes warm-store figure output byte-identical.
+    EXPECT_EQ(in.toJson(), out.toJson());
+}
+
+TEST(SimResultRoundTrip, DefaultConstructedSurvives)
+{
+    SimResult in;
+    SimResult out;
+    ASSERT_TRUE(SimResult::fromJson(in.toJson(), out));
+    expectSameResult(in, out);
+}
+
+TEST(SimResultRoundTrip, RejectsMalformedInput)
+{
+    SimResult out;
+    std::string good = fullyPopulatedResult().toJson();
+
+    EXPECT_FALSE(SimResult::fromJson("", out));
+    EXPECT_FALSE(SimResult::fromJson("not json at all", out));
+    // Truncation anywhere must fail, never yield a partial record.
+    EXPECT_FALSE(
+        SimResult::fromJson(good.substr(0, good.size() / 2), out));
+    EXPECT_FALSE(
+        SimResult::fromJson(good.substr(0, good.size() - 3), out));
+    // Trailing garbage after the closing brace.
+    EXPECT_FALSE(SimResult::fromJson(good + "x", out));
+    // A missing required field (drop "cycles" wholesale).
+    std::string dropped = good;
+    size_t at = dropped.find("\"cycles\"");
+    ASSERT_NE(at, std::string::npos);
+    size_t end = dropped.find('\n', at);
+    dropped.erase(at, end - at + 1);
+    EXPECT_FALSE(SimResult::fromJson(dropped, out));
+    // An unknown key: likely a newer schema that forgot to bump the
+    // version; must be a clean parse failure, not silent tolerance.
+    std::string extra = good;
+    at = extra.find("\"cycles\"");
+    extra.insert(at, "\"mysteryCounter\": 7,\n  ");
+    EXPECT_FALSE(SimResult::fromJson(extra, out));
+}
+
+TEST(SimResultRoundTrip, RejectsForeignSchemaVersion)
+{
+    SimResult in = fullyPopulatedResult();
+    std::string js = in.toJson();
+    std::string tag =
+        csprintf("\"resultSchemaVersion\": %d",
+                 SimResult::kResultSchemaVersion);
+    size_t at = js.find(tag);
+    ASSERT_NE(at, std::string::npos);
+    std::string other =
+        js.substr(0, at) +
+        csprintf("\"resultSchemaVersion\": %d",
+                 SimResult::kResultSchemaVersion + 1) +
+        js.substr(at + tag.size());
+    SimResult out;
+    EXPECT_FALSE(SimResult::fromJson(other, out));
+}
+
+TEST(SimResultRoundTrip, FailedParseLeavesOutputUntouched)
+{
+    SimResult out = fullyPopulatedResult();
+    SimResult reference = fullyPopulatedResult();
+    std::string good = fullyPopulatedResult().toJson();
+    ASSERT_FALSE(
+        SimResult::fromJson(good.substr(0, good.size() - 3), out));
+    expectSameResult(reference, out);
+}
+
+// ------------------------------------------------------------ keys
+
+TEST(ResultStoreKey, StableAndSensitive)
+{
+    std::string base = ResultStore::makeKey(0x1234, "OOO/v1|x", 0.25);
+    EXPECT_EQ(base.size(), 32u);
+    // Deterministic: same inputs, same key, every time.
+    EXPECT_EQ(base, ResultStore::makeKey(0x1234, "OOO/v1|x", 0.25));
+    // Every key ingredient moves the key.
+    EXPECT_NE(base, ResultStore::makeKey(0x1235, "OOO/v1|x", 0.25));
+    EXPECT_NE(base, ResultStore::makeKey(0x1234, "OOO/v1|y", 0.25));
+    EXPECT_NE(base, ResultStore::makeKey(0x1234, "OOO/v1|x", 0.5));
+}
+
+TEST(ResultStoreKey, ConfigKeyCoversResultAffectingKnobs)
+{
+    OooConfig a = makeOooConfig();
+    OooConfig b = makeOooConfig();
+    EXPECT_EQ(sweepConfigKey(a), sweepConfigKey(b));
+
+    // Knobs that change results must change the key...
+    b.cpiStack = true;
+    EXPECT_NE(sweepConfigKey(a), sweepConfigKey(b));
+    b = makeOooConfig();
+    b.lat.memLatency = 51;
+    EXPECT_NE(sweepConfigKey(a), sweepConfigKey(b));
+    b = makeOooConfig();
+    b.mem.tlb = makeTlb(64);
+    EXPECT_NE(sweepConfigKey(a), sweepConfigKey(b));
+
+    // ...while the observe-only audit level must not: forcing the
+    // audit on is exactly how the determinism suite proves results
+    // are unchanged, so it shares the cache line with audit-off runs.
+    b = makeOooConfig();
+    b.checkLevel = 2;
+    EXPECT_EQ(sweepConfigKey(a), sweepConfigKey(b));
+
+    // REF and OOOVA keys can never collide.
+    EXPECT_NE(sweepConfigKey(RefConfig{}),
+              sweepConfigKey(OooConfig{}));
+}
+
+TEST(ResultStoreKey, PipeTracedJobsAreUncacheable)
+{
+    OooConfig cfg = makeOooConfig();
+    EXPECT_FALSE(oooJob("hydro2d", cfg).configKey.empty());
+    PipeTracer tracer(16);
+    cfg.pipeTracer = &tracer;
+    EXPECT_TRUE(oooJob("hydro2d", cfg).configKey.empty());
+}
+
+TEST(ResultStoreKey, TraceContentHashTracksContent)
+{
+    TraceCache a(kScale);
+    TraceCache b(kScale);
+    // Same generator inputs, same bytes, same hash — across caches.
+    EXPECT_EQ(a.contentHash("hydro2d"), b.contentHash("hydro2d"));
+    EXPECT_EQ(a.contentHash("hydro2d"), a.contentHash("hydro2d"));
+    EXPECT_NE(a.contentHash("hydro2d"), a.contentHash("nasa7"));
+    // A different scale generates a different trace.
+    TraceCache half(kScale * 0.5);
+    EXPECT_NE(a.contentHash("hydro2d"), half.contentHash("hydro2d"));
+}
+
+// ----------------------------------------------------------- store
+
+TEST(ResultStore, RoundTripHitMatchesStoredResult)
+{
+    ResultStore store(makeStoreDir("roundtrip"));
+    SimResult in = fullyPopulatedResult();
+    std::string key = ResultStore::makeKey(0xabcd, "cfg", 0.25);
+
+    SimResult out;
+    EXPECT_FALSE(store.load(key, out)); // cold: miss
+    store.store(key, in);
+    ASSERT_TRUE(store.load(key, out)); // warm: hit
+    expectSameResult(in, out);
+
+    StoreStats s = store.stats();
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.stores, 1u);
+    EXPECT_GT(s.bytesWritten, 0u);
+    EXPECT_EQ(s.bytesRead, s.bytesWritten);
+}
+
+TEST(ResultStore, CorruptAndMismatchedEntriesAreMisses)
+{
+    std::string dir = makeStoreDir("corrupt");
+    ResultStore store(dir);
+    SimResult in = fullyPopulatedResult();
+    std::string key = ResultStore::makeKey(0xabcd, "cfg", 0.25);
+    store.store(key, in);
+    std::string path = dir + "/" + key + ".json";
+
+    // Truncated mid-record: miss.
+    {
+        std::ifstream is(path, std::ios::binary);
+        std::ostringstream buf;
+        buf << is.rdbuf();
+        std::string body = buf.str();
+        std::ofstream os(path,
+                         std::ios::binary | std::ios::trunc);
+        os.write(body.data(),
+                 static_cast<std::streamsize>(body.size() / 2));
+    }
+    SimResult out;
+    EXPECT_FALSE(store.load(key, out));
+
+    // A record stored under a different key (file renamed by hand,
+    // or a header/key mismatch from a foreign store version): miss.
+    store.store(key, in);
+    std::string otherKey = ResultStore::makeKey(0xabce, "cfg", 0.25);
+    std::string otherPath = dir + "/" + otherKey + ".json";
+    ASSERT_EQ(std::rename(path.c_str(), otherPath.c_str()), 0);
+    EXPECT_FALSE(store.load(otherKey, out));
+
+    // Plain garbage: miss.
+    {
+        std::ofstream os(path, std::ios::binary | std::ios::trunc);
+        os << "OOVA-RESULT but not really\n{]";
+    }
+    EXPECT_FALSE(store.load(key, out));
+}
+
+TEST(ResultStore, ConcurrentWritersOfOneKeyAllWin)
+{
+    ResultStore store(makeStoreDir("concurrent"));
+    SimResult in = fullyPopulatedResult();
+    std::string key = ResultStore::makeKey(0x7777, "cfg", 0.25);
+
+    std::vector<std::thread> writers;
+    for (int i = 0; i < 8; ++i)
+        writers.emplace_back([&] { store.store(key, in); });
+    for (auto &t : writers)
+        t.join();
+
+    SimResult out;
+    ASSERT_TRUE(store.load(key, out));
+    expectSameResult(in, out);
+    EXPECT_EQ(store.stats().stores, 8u);
+}
+
+// --------------------------------------------------- StoreBackend
+
+TEST(StoreBackend, WarmRunEqualsColdRunFieldForField)
+{
+    std::string dir = makeStoreDir("backend");
+    TraceCache traces(kScale);
+    std::vector<SweepJob> jobs;
+    for (const char *prog : {"hydro2d", "nasa7"}) {
+        jobs.push_back(oooJob(prog, makeOooConfig(16)));
+        jobs.push_back(refJob(prog, makeRefConfig(50)));
+        jobs.push_back(idealJob(prog));
+    }
+
+    ResultStore store(dir);
+    SweepEngine cold(
+        traces, std::make_unique<StoreBackend>(
+                    store, traces,
+                    std::make_unique<InProcessBackend>(traces, 2)));
+    std::vector<SimResult> first = cold.run(jobs);
+    EXPECT_EQ(store.stats().hits, 0u);
+    EXPECT_EQ(store.stats().misses, jobs.size());
+    EXPECT_EQ(store.stats().stores, jobs.size());
+
+    // A fresh store object over the same directory (a new process
+    // in real sweeps) must serve every job without simulating.
+    ResultStore warmStore(dir);
+    SweepEngine warm(
+        traces, std::make_unique<StoreBackend>(
+                    warmStore, traces,
+                    std::make_unique<InProcessBackend>(traces, 2)));
+    warm.enableManifest();
+    std::vector<SimResult> second = warm.run(jobs);
+    EXPECT_EQ(warmStore.stats().hits, jobs.size());
+    EXPECT_EQ(warmStore.stats().misses, 0u);
+
+    ASSERT_EQ(first.size(), second.size());
+    for (size_t i = 0; i < first.size(); ++i)
+        expectSameResult(first[i], second[i]);
+
+    // The manifest records the hits as cached.
+    ASSERT_EQ(warm.manifest().size(), jobs.size());
+    for (const JobRecord &rec : warm.manifest())
+        EXPECT_TRUE(rec.cached);
+}
+
+TEST(StoreBackend, InlineTraceJobsAreCacheable)
+{
+    std::string dir = makeStoreDir("inline");
+    TraceCache traces(kScale);
+    auto trace = std::make_shared<Trace>(traces.get("hydro2d"));
+    std::vector<SweepJob> jobs = {
+        oooTraceJob(trace, makeOooConfig(16)),
+        refTraceJob(trace, makeRefConfig(50)),
+    };
+
+    ResultStore store(dir);
+    StoreBackend backend(
+        store, traces, std::make_unique<InProcessBackend>(traces, 1));
+    std::vector<JobOutcome> first = backend.run(jobs);
+    std::vector<JobOutcome> second = backend.run(jobs);
+
+    EXPECT_EQ(store.stats().hits, jobs.size());
+    EXPECT_EQ(store.stats().misses, jobs.size());
+    ASSERT_EQ(first.size(), second.size());
+    for (size_t i = 0; i < first.size(); ++i) {
+        EXPECT_FALSE(first[i].fromStore);
+        EXPECT_TRUE(second[i].fromStore);
+        expectSameResult(first[i].result, second[i].result);
+    }
+}
+
+TEST(StoreBackend, UncacheableJobsBypassTheStore)
+{
+    std::string dir = makeStoreDir("bypass");
+    TraceCache traces(kScale);
+    SweepJob job{"hydro2d",
+                 [](const Trace &t) {
+                     SimResult r;
+                     r.machine = "CUSTOM";
+                     r.cycles = t.size();
+                     return r;
+                 },
+                 nullptr, std::string()};
+
+    ResultStore store(dir);
+    StoreBackend backend(
+        store, traces, std::make_unique<InProcessBackend>(traces, 1));
+    backend.run({job});
+    backend.run({job});
+    // No configKey: never looked up, never persisted.
+    StoreStats s = store.stats();
+    EXPECT_EQ(s.hits + s.misses + s.stores, 0u);
+}
