@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Occupancy telemetry: per-structure occupancy histograms (mean and
+ * p95) for REF and two OOOVA register pools across the ten
+ * benchmarks, sampled every cycle by the telemetry layer
+ * (cfg.telemetry / OOVA_TELEMETRY=1). Not a paper figure — this is
+ * the observability companion to the CPI stack: where cpi_stack
+ * says where cycles went, this says how full each machine structure
+ * was while they did. The occupancy-conservation checker pins every
+ * distribution's sample weight to the run's cycle count, so the
+ * numbers here cannot drift from the simulated timeline.
+ */
+
+#include "harness/figure.hh"
+
+int
+main(int argc, char **argv)
+{
+    return oova::runFigureMain("occupancy", argc, argv);
+}

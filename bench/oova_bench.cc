@@ -36,6 +36,8 @@
 #include "core/ooosim.hh"
 #include "harness/experiment.hh"
 #include "harness/figure.hh"
+#include "harness/perfetto.hh"
+#include "harness/statsdump.hh"
 
 using namespace oova;
 
@@ -48,7 +50,8 @@ printUsage(std::FILE *to, const char *argv0)
     std::fprintf(
         to,
         "usage: %s <figure>|all|--list [--threads N | --workers N]\n"
-        "       %*s [--store DIR] [--store-stats] [--json] "
+        "       %*s [--store DIR] [--store-stats] [--store-max-mb N]\n"
+        "       %*s [--stats FILE] [--perfetto FILE] [--json] "
         "[--progress] [--scale S]\n"
         "       %s <benchmark> --pipetrace=FILE [--trace-limit=N] "
         "[--scale S]\n"
@@ -67,11 +70,24 @@ printUsage(std::FILE *to, const char *argv0)
         "into it\n"
         "  --store-stats   print the [store] hit/miss line to "
         "stderr (needs --store)\n"
+        "  --store-max-mb N  cap the store's payload at N MiB: "
+        "storing past the cap\n"
+        "                  evicts the oldest entries first (needs "
+        "--store)\n"
+        "  --stats FILE    gem5-style `name value` telemetry dump "
+        "of every result\n"
+        "                  (\"-\" = stdout); occupancy needs "
+        "OOVA_TELEMETRY=1 or a\n"
+        "                  telemetry figure\n"
+        "  --perfetto FILE Chrome trace-event JSON of the sweep; "
+        "open in\n"
+        "                  ui.perfetto.dev\n"
         "  --json          machine-readable output with run "
         "manifests\n"
         "  --progress      per-job heartbeat on stderr\n"
         "  --scale S       trace scale (overrides OOVA_SCALE)\n",
-        argv0, static_cast<int>(std::strlen(argv0)), "", argv0);
+        argv0, static_cast<int>(std::strlen(argv0)), "",
+        static_cast<int>(std::strlen(argv0)), "", argv0);
     std::fprintf(to, "figures:\n");
     for (const auto &fig : figureRegistry())
         std::fprintf(to, "  %-8s  %s\n", fig.name, fig.title);
@@ -208,13 +224,21 @@ main(int argc, char **argv)
     // the same store.
     TraceCache traces(opts.scale);
     std::unique_ptr<ResultStore> store;
-    if (!opts.storeDir.empty())
+    if (!opts.storeDir.empty()) {
         store = std::make_unique<ResultStore>(opts.storeDir);
+        if (opts.storeMaxMb)
+            store->setMaxBytes(opts.storeMaxMb << 20);
+    }
     SweepEngine engine = makeSweepEngine(traces, opts, store.get());
     if (opts.progress)
         installProgressMeter(engine);
     if (opts.json)
         engine.enableManifest();
+    SweepTraceLog traceLog;
+    if (!opts.perfettoPath.empty())
+        engine.setTraceLog(&traceLog);
+    if (!opts.statsPath.empty())
+        engine.enableResultCapture();
 
     if (opts.json)
         std::printf("[\n");
@@ -260,6 +284,16 @@ main(int argc, char **argv)
         std::printf("]\n");
     if (store && opts.storeStats)
         printStoreStats(*store);
+    bool sideFilesOk = true;
+    if (!opts.statsPath.empty())
+        sideFilesOk = writeStatsDump(opts.statsPath,
+                                     engine.captured()) &&
+                      sideFilesOk;
+    if (!opts.perfettoPath.empty())
+        sideFilesOk = traceLog.write(opts.perfettoPath) &&
+                      sideFilesOk;
+    if (!sideFilesOk)
+        return 1;
     // Checkers are observe-only, so a violation never perturbs the
     // figure output above — it only turns the exit code red.
     return check::processExitCode();

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Project-specific lint gate.
 
-Seven repo invariants that neither the compiler nor clang-tidy can
+Eight repo invariants that neither the compiler nor clang-tidy can
 see, each of which has bitten (or nearly bitten) a past PR:
 
   1. Every registered figure has a checked-in golden
@@ -29,6 +29,13 @@ see, each of which has bitten (or nearly bitten) a past PR:
      the config-key region of src/harness/sweep.cc (or explicitly
      allowlisted as observe-only) — a knob missing from
      sweepConfigKey() would alias store entries of runs that set it.
+  8. Every OccStruct enum entry has an occStructName() label and a
+     row in the README's occupancy-structure table, and vice versa;
+     and both telemetry renderers (simResultJson in simresult.cc,
+     the --stats dump in statsdump.cc) iterate via occStructName(),
+     so every registered occupancy distribution reaches both output
+     surfaces — a structure nobody can read about, parse out of the
+     JSON, or grep out of the stats dump is dead telemetry.
 
 Exit code: 0 clean, 1 violations (each printed as "LINT: ...").
 """
@@ -328,10 +335,83 @@ for struct, rel in CONFIG_STRUCTS:
                 "store entry; key it (or allowlist it as observe-"
                 "only in scripts/lint_oova.py)")
 
+# ---------------------------------------------------------------
+# Rule 8: OccStruct enum <-> occStructName() labels <-> README
+# occupancy table, all three in sync, both directions; and both
+# telemetry renderers must emit through occStructName().
+# ---------------------------------------------------------------
+
+def occ_enum_entries() -> list:
+    """OccStruct enumerators (minus the NumStructs sentinel)."""
+    src = (ROOT / "src/common/stats.hh").read_text()
+    m = re.search(r"enum class OccStruct[^{]*\{(.*?)\}", src, re.S)
+    if not m:
+        err("enum class OccStruct not found in src/common/stats.hh")
+        return []
+    body = re.sub(r"//[^\n]*", "", m.group(1))
+    entries = re.findall(r"\b([A-Z]\w*)\b", body)
+    return [e for e in entries if e != "NumStructs"]
+
+
+def occ_name_labels() -> dict:
+    """Enumerator -> label string, from occStructName()'s switch."""
+    src = (ROOT / "src/common/stats.cc").read_text()
+    m = re.search(r"occStructName\(.*?\n\}", src, re.S)
+    if not m:
+        err("occStructName() not found in src/common/stats.cc")
+        return {}
+    return dict(re.findall(
+        r'case OccStruct::(\w+):\s*return "([a-z-]+)"', m.group(0)))
+
+
+def readme_occ_labels() -> list:
+    """Structure labels from the README's occupancy table."""
+    text = (ROOT / "README.md").read_text()
+    m = re.search(r"#### Occupancy structures\n(.*?)(?:\n#|\Z)",
+                  text, re.S)
+    if not m:
+        err("README.md has no '#### Occupancy structures' section")
+        return []
+    return re.findall(r"^\| `([a-z-]+)` \|", m.group(1), re.M)
+
+
+occ_entries = occ_enum_entries()
+occ_labels = occ_name_labels()
+occ_readme = readme_occ_labels()
+
+for entry in occ_entries:
+    if entry not in occ_labels:
+        err(f"OccStruct::{entry} has no label in occStructName() "
+            "(src/common/stats.cc)")
+for entry in occ_labels:
+    if entry not in occ_entries:
+        err(f"occStructName() labels unknown structure "
+            f"OccStruct::{entry}")
+for entry, label in sorted(occ_labels.items()):
+    if label not in occ_readme:
+        err(f"occupancy structure '{label}' (OccStruct::{entry}) "
+            "missing from the README's '#### Occupancy structures' "
+            "table")
+for label in occ_readme:
+    if label not in occ_labels.values():
+        err(f"README occupancy-table row '{label}' matches no "
+            "occStructName() label")
+
+# Both renderers must derive their per-structure keys from
+# occStructName(): that is what guarantees all kNumOccStructs
+# distributions reach the JSON and the --stats dump (and pick up new
+# enum entries automatically).
+for rel in ("src/mem/simresult.cc", "src/harness/statsdump.cc"):
+    if "occStructName" not in (ROOT / rel).read_text():
+        err(f"{rel} does not emit occupancy telemetry through "
+            "occStructName() — a new OccStruct entry would silently "
+            "miss this output surface")
+
 if errors:
     print(f"lint_oova: {len(errors)} violation(s)")
     sys.exit(1)
 print("lint_oova: all checks passed "
       f"({len(figures)} figures, {len(fields)} SimResult fields, "
       f"{len(cpi_entries)} CPI buckets, "
-      f"{config_member_count} config-key members)")
+      f"{config_member_count} config-key members, "
+      f"{len(occ_entries)} occupancy structures)")

@@ -301,4 +301,41 @@ checkCpiConservation(
     }
 }
 
+void
+checkOccupancyConservation(
+    Cycle cycles,
+    const std::array<StatDistribution, kNumOccStructs> &occ,
+    const std::array<StatTimeSeries, kNumOccStructs> &occ_ts,
+    Reporter &r)
+{
+    for (size_t s = 0; s < kNumOccStructs; ++s) {
+        const char *name =
+            occStructName(static_cast<OccStruct>(s));
+        if (occ[s].samples != 0 && occ[s].samples != cycles) {
+            r.fail("occupancy[%s] holds %llu samples, run took "
+                   "%llu cycles",
+                   name,
+                   static_cast<unsigned long long>(occ[s].samples),
+                   static_cast<unsigned long long>(cycles));
+        }
+        if (occ_ts[s].total != 0 && occ_ts[s].total != cycles) {
+            r.fail("occupancyTs[%s] holds %llu cycles of weight, "
+                   "run took %llu cycles",
+                   name,
+                   static_cast<unsigned long long>(occ_ts[s].total),
+                   static_cast<unsigned long long>(cycles));
+        }
+        uint64_t bucket_sum = 0;
+        for (uint64_t b : occ[s].buckets)
+            bucket_sum += b;
+        if (bucket_sum != occ[s].samples) {
+            r.fail("occupancy[%s] histogram sums to %llu, not its "
+                   "%llu samples",
+                   name,
+                   static_cast<unsigned long long>(bucket_sum),
+                   static_cast<unsigned long long>(occ[s].samples));
+        }
+    }
+}
+
 } // namespace oova::check

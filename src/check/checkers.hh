@@ -138,6 +138,23 @@ void checkCpiConservation(
     Cycle cycles,
     const std::array<uint64_t, kNumCpiBuckets> &buckets, Reporter &r);
 
+/**
+ * Occupancy-telemetry conservation: with sampling enabled, every
+ * sampled structure's distribution receives exactly one weighted
+ * sample per machine cycle — progress steps charge 1, calendar
+ * jumps and the final drain charge their span in bulk — so each
+ * non-empty distribution's sample count, and its time series' total
+ * weight, must equal @p cycles. A mismatch means a calendar advance
+ * bypassed the sampling hook (or charged twice). Distributions with
+ * zero samples are structures the machine doesn't model (e.g. REF
+ * has no ROB) and are exempt.
+ */
+void checkOccupancyConservation(
+    Cycle cycles,
+    const std::array<StatDistribution, kNumOccStructs> &occ,
+    const std::array<StatTimeSeries, kNumOccStructs> &occ_ts,
+    Reporter &r);
+
 } // namespace oova::check
 
 #endif // OOVA_CHECK_CHECKERS_HH

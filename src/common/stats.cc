@@ -1,6 +1,9 @@
 #include "common/stats.hh"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
 
 #include "common/logging.hh"
 
@@ -220,6 +223,156 @@ double
 Histogram::mean() const
 {
     return count_ ? static_cast<double>(sum_) / count_ : 0.0;
+}
+
+// ------------------------------------------------ occupancy telemetry
+
+const char *
+occStructName(OccStruct s)
+{
+    switch (s) {
+    case OccStruct::Rob:
+        return "rob";
+    case OccStruct::AQueue:
+        return "aqueue";
+    case OccStruct::SQueue:
+        return "squeue";
+    case OccStruct::VQueue:
+        return "vqueue";
+    case OccStruct::FreeVRegs:
+        return "free-vregs";
+    case OccStruct::Mshrs:
+        return "mshrs";
+    case OccStruct::MemUnits:
+        return "mem-units";
+    case OccStruct::TlbPages:
+        return "tlb-pages";
+    case OccStruct::NumStructs:
+        break;
+    }
+    panic("occStructName on %d", static_cast<int>(s));
+}
+
+double
+StatDistribution::mean() const
+{
+    return samples ? static_cast<double>(sum) / samples : 0.0;
+}
+
+double
+StatDistribution::stddev() const
+{
+    if (samples == 0)
+        return 0.0;
+    double n = static_cast<double>(samples);
+    double m = static_cast<double>(sum) / n;
+    double var = static_cast<double>(sumSquares) / n - m * m;
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+uint64_t
+StatDistribution::p95() const
+{
+    if (samples == 0)
+        return 0;
+    // Smallest rank covering 95% of the weight, in exact integers.
+    uint64_t rank = (samples * 95 + 99) / 100;
+    uint64_t cum = 0;
+    for (size_t b = 0; b < kNumBuckets; ++b) {
+        cum += buckets[b];
+        if (cum >= rank) {
+            uint64_t edge = (b + 1) * width - 1;
+            return std::min(edge, maxValue);
+        }
+    }
+    return maxValue; // unreachable: buckets sum to samples
+}
+
+void
+StatTimeSeries::sample(uint64_t value, uint64_t n)
+{
+    while (n > 0) {
+        size_t cur = static_cast<size_t>(total / epochLen);
+        if (cur >= kMaxEpochs) {
+            // Window full: halve the resolution, keep exact sums.
+            for (size_t i = 0; i < kMaxEpochs / 2; ++i)
+                sums[i] = sums[2 * i] + sums[2 * i + 1];
+            std::fill(sums.begin() + kMaxEpochs / 2, sums.end(),
+                      uint64_t{0});
+            epochLen *= 2;
+            continue;
+        }
+        uint64_t room = epochLen - total % epochLen;
+        uint64_t take = std::min(room, n);
+        sums[cur] += value * take;
+        total += take;
+        n -= take;
+    }
+}
+
+uint64_t
+StatTimeSeries::epochCycles(size_t e) const
+{
+    uint64_t start = e * epochLen;
+    if (start >= total)
+        return 0;
+    return std::min(epochLen, total - start);
+}
+
+double
+StatTimeSeries::epochMean(size_t e) const
+{
+    uint64_t cycles = epochCycles(e);
+    return cycles ? static_cast<double>(sums[e]) / cycles : 0.0;
+}
+
+void
+accumulateIntervalDepth(const IntervalRecorder &rec, Cycle total,
+                        StatDistribution &dist, StatTimeSeries &ts)
+{
+    if (total == 0)
+        return;
+    // Sweep-line over begin/end events, clipped to [0, total).
+    std::vector<std::pair<Cycle, int>> events;
+    events.reserve(rec.intervals().size() * 2);
+    for (const auto &[s, e] : rec.intervals()) {
+        Cycle end = std::min<Cycle>(e, total);
+        if (s >= end)
+            continue;
+        events.emplace_back(s, +1);
+        events.emplace_back(end, -1);
+    }
+    std::sort(events.begin(), events.end());
+
+    Cycle prev = 0;
+    int64_t depth = 0;
+    size_t i = 0;
+    while (i < events.size()) {
+        Cycle now = events[i].first;
+        if (now > prev) {
+            dist.sample(static_cast<uint64_t>(depth), now - prev);
+            ts.sample(static_cast<uint64_t>(depth), now - prev);
+            prev = now;
+        }
+        while (i < events.size() && events[i].first == now) {
+            depth += events[i].second;
+            ++i;
+        }
+    }
+    if (total > prev) {
+        dist.sample(static_cast<uint64_t>(depth), total - prev);
+        ts.sample(static_cast<uint64_t>(depth), total - prev);
+    }
+}
+
+bool
+telemetryForced()
+{
+    static const bool forced = [] {
+        const char *env = std::getenv("OOVA_TELEMETRY");
+        return env && *env && std::strcmp(env, "0") != 0;
+    }();
+    return forced;
 }
 
 } // namespace oova

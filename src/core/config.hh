@@ -92,6 +92,18 @@ struct OooConfig
     bool cpiStack = false;
 
     /**
+     * Occupancy telemetry: sample ROB / queue / free-register /
+     * MSHR / TLB occupancy at every event-calendar advance into
+     * SimResult::occupancy (+Ts), charged in bulk across idle jumps
+     * like the CPI stack. Observe-only like cpiStack — never changes
+     * simulated timing, figure output, or the machine name — and off
+     * by default so the hot path pays nothing. OOVA_TELEMETRY=1 in
+     * the environment forces it on (the goldens-byte-identical CI
+     * proof), exactly as OOVA_CHECK overrides checkLevel.
+     */
+    bool telemetry = false;
+
+    /**
      * Optional instruction-lifecycle tracer (common/pipetrace.hh)
      * recording fetch/rename/dispatch/issue/complete/retire/squash
      * timestamps. Observe-only; null (the default) disables tracing

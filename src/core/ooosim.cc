@@ -150,6 +150,22 @@ class OooMachine
                 : check::levelFromEnv();
         checkRetire_ = lvl >= check::CheckLevel::Retire;
         checkFull_ = lvl >= check::CheckLevel::Full;
+        if (telemetry_) {
+            auto cap = [this](OccStruct s, uint64_t capacity) {
+                occ_[static_cast<size_t>(s)].setCapacity(capacity);
+            };
+            cap(OccStruct::Rob, cfg.robSize);
+            cap(OccStruct::AQueue, cfg.queueSize);
+            cap(OccStruct::SQueue, cfg.queueSize);
+            cap(OccStruct::VQueue, cfg.queueSize);
+            cap(OccStruct::FreeVRegs, cfg.numPhysVRegs);
+            cap(OccStruct::Mshrs, cfg.mem.mshrs);
+            cap(OccStruct::MemUnits, cfg.mem.memUnits);
+            cap(OccStruct::TlbPages,
+                cfg.mem.tlb.enabled
+                    ? cfg.mem.tlb.entries + cfg.mem.tlb.l2Entries
+                    : 1);
+        }
         if (checkRetire_)
             registerAuditCheckers();
     }
@@ -190,6 +206,9 @@ class OooMachine
 
     /** CPI stack: classify one non-committing cycle, top-down. */
     CpiBucket cpiWaitBucket() const;
+
+    /** Occupancy telemetry: charge @p weight cycles at now_. */
+    void sampleOccupancy(uint64_t weight);
 
     // ---- invariant audit (src/check/, observe-only) ----
     void registerAuditCheckers();
@@ -475,6 +494,17 @@ class OooMachine
     Cycle trapStallUntil_ = 0;
     /** Instruction-lifecycle tracer (null = off). */
     PipeTracer *tracer_ = cfg_.pipeTracer;
+    /**
+     * Occupancy telemetry (observe-only; cfg.telemetry or
+     * OOVA_TELEMETRY=1): one distribution + time series per
+     * OccStruct, sampled at every event-calendar advance with the
+     * same bulk-charge discipline as the CPI stack. MemUnits is the
+     * exception: it is derived from the busy-interval sweep at end
+     * of run, identically on both machines.
+     */
+    bool telemetry_ = cfg_.telemetry || telemetryForced();
+    std::array<StatDistribution, kNumOccStructs> occ_{};
+    std::array<StatTimeSeries, kNumOccStructs> occTs_{};
 
     Cycle fu1Free_ = 0, fu2Free_ = 0;
     IntervalRecorder fu1Rec_, fu2Rec_;
@@ -2057,6 +2087,37 @@ OooMachine::registerAuditCheckers()
             check::checkCpiConservation(endCycle_, cpi_, r);
         });
     }
+
+    // Occupancy-telemetry conservation: every sampled structure gets
+    // exactly one weighted sample per cycle, so each non-empty
+    // distribution must hold endCycle_ samples once the drain charge
+    // has been settled at end of run.
+    if (telemetry_) {
+        audit_.add("occupancy-conservation", check::kSiteEnd,
+                   [this](Reporter &r) {
+            check::checkOccupancyConservation(endCycle_, occ_,
+                                              occTs_, r);
+        });
+    }
+}
+
+void
+OooMachine::sampleOccupancy(uint64_t weight)
+{
+    auto charge = [&](OccStruct s, uint64_t value) {
+        size_t i = static_cast<size_t>(s);
+        occ_[i].sample(value, weight);
+        occTs_[i].sample(value, weight);
+    };
+    charge(OccStruct::Rob, rob_.size());
+    charge(OccStruct::AQueue, aQueue_.size());
+    charge(OccStruct::SQueue, sQueue_.size());
+    charge(OccStruct::VQueue, vQueue_.size());
+    charge(OccStruct::FreeVRegs,
+           renamer_.file(RegClass::V).numFree());
+    charge(OccStruct::Mshrs, mem_->inFlightMshrs(now_));
+    if (const Tlb *tlb = mem_->tlb())
+        charge(OccStruct::TlbPages, tlb->residentPages());
 }
 
 SimResult
@@ -2100,6 +2161,8 @@ OooMachine::run()
                                                 : cpiWaitBucket();
                 ++cpi_[static_cast<unsigned>(b)];
             }
+            if (telemetry_)
+                sampleOccupancy(1);
             ++now_;
         } else {
             Cycle next = nextEventFromCalendar();
@@ -2165,6 +2228,12 @@ OooMachine::run()
                 cpi_[static_cast<unsigned>(cpiWaitBucket())] +=
                     next - now_;
             }
+            if (telemetry_) {
+                // Same bulk-charge rule as the CPI stack: nothing
+                // changes until the calendar's next event, so every
+                // skipped cycle sees today's occupancies.
+                sampleOccupancy(next - now_);
+            }
             now_ = next;
         }
     }
@@ -2176,6 +2245,16 @@ OooMachine::run()
         // stack an exact partition of res.cycles.
         cpi_[static_cast<unsigned>(CpiBucket::Drain)] +=
             endCycle_ - now_;
+    }
+    if (telemetry_) {
+        // Drain cycles: the ROB is empty, the units are finishing.
+        sampleOccupancy(endCycle_ - now_);
+        // Per-unit memory busy is derived from the busy-interval
+        // sweep — REF has no cycle loop to hook, so both machines
+        // compute this structure the same way.
+        size_t mu = static_cast<size_t>(OccStruct::MemUnits);
+        accumulateIntervalDepth(mem_->busy(), endCycle_, occ_[mu],
+                                occTs_[mu]);
     }
 
     if (checkRetire_) {
@@ -2215,6 +2294,8 @@ OooMachine::run()
     res.queueStallCycles = queueStalls_;
     res.traps = traps_;
     res.cpiCycles = cpi_;
+    res.occupancy = occ_;
+    res.occupancyTs = occTs_;
     res.stateCycles = UnitStateBreakdown::compute(
         fu2Rec_, fu1Rec_, mem_->busy(), endCycle_);
     return res;

@@ -14,6 +14,7 @@
 
 #include "check/check.hh"
 #include "common/logging.hh"
+#include "harness/perfetto.hh"
 #include "trace/trace_io.hh"
 
 namespace oova
@@ -47,6 +48,30 @@ defaultedWorkers(unsigned requested)
     return hw == 0 ? 1 : hw;
 }
 
+/**
+ * Record one finished job on @p tid's track, anchored at its end
+ * time @p endUs so the span covers [end - dur, end] — the only
+ * placement the forked protocol supports (a frame carries the
+ * duration; the arrival is the end), applied uniformly.
+ */
+void
+recordJobSpan(SweepTraceLog *log, const JobOutcome &o, uint32_t tid,
+              uint64_t endUs, uint64_t dur)
+{
+    TraceSpan s;
+    s.name = o.result.machine.empty()
+                 ? o.result.program + " (prefetch)"
+                 : o.result.program + " " + o.result.machine;
+    s.category = o.fromStore ? "store-hit" : "sim";
+    s.durUs = dur;
+    s.tsUs = endUs >= dur ? endUs - dur : 0;
+    s.tid = tid;
+    s.args = {{"program", o.result.program},
+              {"machine", o.result.machine},
+              {"cached", o.fromStore ? "true" : "false"}};
+    log->addSpan(std::move(s));
+}
+
 } // namespace
 
 // ------------------------------------------------------ in-process
@@ -69,8 +94,12 @@ InProcessBackend::run(const std::vector<SweepJob> &jobs)
     std::vector<JobOutcome> out(jobs.size());
     std::atomic<size_t> done{0};
 
-    auto runOne = [&](size_t i) {
+    auto runOne = [&](size_t i, uint32_t tid) {
         out[i] = runSweepJob(traces_, jobs[i]);
+        if (traceLog_)
+            recordJobSpan(
+                traceLog_, out[i], tid, traceLog_->nowUs(),
+                static_cast<uint64_t>(out[i].wallMs * 1000.0));
         if (progress_)
             progress_(done.fetch_add(1) + 1, jobs.size());
     };
@@ -79,9 +108,13 @@ InProcessBackend::run(const std::vector<SweepJob> &jobs)
     if (jobs.size() < workers)
         workers = static_cast<unsigned>(jobs.size());
 
+    if (traceLog_)
+        for (unsigned k = 0; k < std::max(workers, 1u); ++k)
+            traceLog_->setThreadName(k, csprintf("worker-%u", k));
+
     if (workers <= 1) {
         for (size_t i = 0; i < jobs.size(); ++i)
-            runOne(i);
+            runOne(i, 0);
         return out;
     }
 
@@ -93,13 +126,13 @@ InProcessBackend::run(const std::vector<SweepJob> &jobs)
     std::vector<std::thread> pool;
     pool.reserve(workers);
     for (unsigned w = 0; w < workers; ++w) {
-        pool.emplace_back([&] {
+        pool.emplace_back([&, w] {
             for (;;) {
                 size_t i = next.fetch_add(1);
                 if (i >= jobs.size())
                     return;
                 try {
-                    runOne(i);
+                    runOne(i, w);
                 } catch (...) {
                     std::lock_guard<std::mutex> lock(error_mutex);
                     if (!error)
@@ -245,6 +278,8 @@ ForkedBackend::run(const std::vector<SweepJob> &jobs)
     // pool, matching the in-process backend's parallelism) so the
     // forked children inherit the generated pages copy-on-write
     // instead of each regenerating its own copies.
+    uint64_t genStartUs = traceLog_ ? traceLog_->nowUs() : 0;
+    size_t namedTraces = 0;
     {
         std::vector<std::string> names;
         for (const auto &job : jobs)
@@ -265,6 +300,21 @@ ForkedBackend::run(const std::vector<SweepJob> &jobs)
             });
         for (auto &t : pool)
             t.join();
+        namedTraces = names.size();
+    }
+    if (traceLog_) {
+        // The pre-fork generation phase is otherwise invisible: no
+        // job runs during it, yet on a cold cache it can dominate
+        // the sweep's wall time.
+        traceLog_->setThreadName(0, "sweep-main");
+        TraceSpan gen;
+        gen.name = "trace-gen";
+        gen.category = "sweep";
+        gen.tsUs = genStartUs;
+        gen.durUs = traceLog_->nowUs() - genStartUs;
+        gen.tid = 0;
+        gen.args = {{"traces", csprintf("%zu", namedTraces)}};
+        traceLog_->addSpan(std::move(gen));
     }
 
     unsigned w = workers_;
@@ -311,6 +361,10 @@ ForkedBackend::run(const std::vector<SweepJob> &jobs)
     std::vector<char> filled(jobs.size(), 0);
     std::vector<std::thread> readers;
     readers.reserve(w);
+    if (traceLog_)
+        for (unsigned k = 0; k < w; ++k)
+            traceLog_->setThreadName(
+                1000 + k, csprintf("forked-worker-%u", k));
     for (unsigned k = 0; k < w; ++k) {
         readers.emplace_back([&, k] {
             int fd = readFds[k];
@@ -343,6 +397,12 @@ ForkedBackend::run(const std::vector<SweepJob> &jobs)
                 out[i].wallMs =
                     static_cast<double>(h.wallUs) / 1000.0;
                 filled[i] = 1;
+                // The frame carries the job's duration and arrives
+                // (pipe latency aside) when the job ends, which is
+                // all a span needs; the worker's track is its own.
+                if (traceLog_)
+                    recordJobSpan(traceLog_, out[i], 1000 + k,
+                                  traceLog_->nowUs(), h.wallUs);
                 if (progress_)
                     progress_(done.fetch_add(1) + 1, jobs.size());
             }
@@ -393,6 +453,13 @@ StoreBackend::setProgress(std::function<void(size_t, size_t)> cb)
     progress_ = std::move(cb);
 }
 
+void
+StoreBackend::setTraceLog(SweepTraceLog *log)
+{
+    traceLog_ = log;
+    inner_->setTraceLog(log);
+}
+
 std::vector<JobOutcome>
 StoreBackend::run(const std::vector<SweepJob> &jobs)
 {
@@ -411,6 +478,7 @@ StoreBackend::run(const std::vector<SweepJob> &jobs)
         return it->second;
     };
 
+    uint64_t lookupStartUs = traceLog_ ? traceLog_->nowUs() : 0;
     std::vector<size_t> missIdx;
     std::vector<SweepJob> missJobs;
     std::vector<std::string> missKeys;
@@ -423,15 +491,37 @@ StoreBackend::run(const std::vector<SweepJob> &jobs)
         if (!job.configKey.empty()) {
             key = ResultStore::makeKey(traceHash(job), job.configKey,
                                        traces_.scale());
+            uint64_t loadStartUs =
+                traceLog_ ? traceLog_->nowUs() : 0;
             if (store_.load(key, out[i].result)) {
                 out[i].fromStore = true;
                 ++hits;
+                // Hits get job spans too (category "store-hit",
+                // cached=true), spanning the load itself — the
+                // waterfall shows what a warm store saved.
+                if (traceLog_) {
+                    uint64_t end = traceLog_->nowUs();
+                    recordJobSpan(traceLog_, out[i], 0, end,
+                                  end - loadStartUs);
+                }
                 continue;
             }
         }
         missIdx.push_back(i);
         missJobs.push_back(job);
         missKeys.push_back(std::move(key));
+    }
+    if (traceLog_) {
+        traceLog_->setThreadName(0, "sweep-main");
+        TraceSpan lookup;
+        lookup.name = "store-lookup";
+        lookup.category = "store";
+        lookup.tsUs = lookupStartUs;
+        lookup.durUs = traceLog_->nowUs() - lookupStartUs;
+        lookup.tid = 0;
+        lookup.args = {{"hits", csprintf("%zu", hits)},
+                       {"misses", csprintf("%zu", missIdx.size())}};
+        traceLog_->addSpan(std::move(lookup));
     }
 
     if (progress_) {

@@ -33,6 +33,8 @@
 namespace oova
 {
 
+class SweepTraceLog;
+
 /** One job's execution outcome, index-aligned with the batch. */
 struct JobOutcome
 {
@@ -74,8 +76,18 @@ class SweepBackend
         progress_ = std::move(cb);
     }
 
+    /**
+     * Install a span sink for --perfetto (nullptr detaches). The
+     * log must outlive every subsequent run(); backends record one
+     * span per executed job plus spans for their internal batch
+     * phases. Never consulted when unset, so the default costs
+     * nothing.
+     */
+    virtual void setTraceLog(SweepTraceLog *log) { traceLog_ = log; }
+
   protected:
     std::function<void(size_t, size_t)> progress_;
+    SweepTraceLog *traceLog_ = nullptr;
 };
 
 /**
@@ -158,6 +170,8 @@ class StoreBackend : public SweepBackend
     }
     std::string describe() const override;
     void setProgress(std::function<void(size_t, size_t)> cb) override;
+    /** Kept by the decorator and forwarded to the inner backend. */
+    void setTraceLog(SweepTraceLog *log) override;
 
   private:
     ResultStore &store_;

@@ -13,6 +13,8 @@
 #include "check/check.hh"
 #include "common/logging.hh"
 #include "harness/backend.hh"
+#include "harness/perfetto.hh"
+#include "harness/statsdump.hh"
 
 namespace oova
 {
@@ -114,13 +116,15 @@ jsonManifest(std::ostringstream &os, const RunManifest &manifest)
         os << csprintf("    \"store\": {\"hits\": %llu, "
                        "\"misses\": %llu, \"stores\": %llu, "
                        "\"bytesRead\": %llu, "
-                       "\"bytesWritten\": %llu},\n",
+                       "\"bytesWritten\": %llu, "
+                       "\"evictions\": %llu},\n",
                        static_cast<unsigned long long>(s.hits),
                        static_cast<unsigned long long>(s.misses),
                        static_cast<unsigned long long>(s.stores),
                        static_cast<unsigned long long>(s.bytesRead),
                        static_cast<unsigned long long>(
-                           s.bytesWritten));
+                           s.bytesWritten),
+                       static_cast<unsigned long long>(s.evictions));
     }
     os << "    \"jobs\": [";
     for (size_t i = 0; i < manifest.jobs.size(); ++i) {
@@ -267,6 +271,19 @@ parseCommonFlag(int argc, char **argv, int &i, FigureOptions &opts)
         }
         return 1;
     }
+    if ((r = takeValue(argc, argv, i, "--store-max-mb", &val)) != 0) {
+        if (r < 0)
+            return -1;
+        char *end = nullptr;
+        unsigned long long n = std::strtoull(val, &end, 10);
+        if (!std::isdigit(static_cast<unsigned char>(val[0])) ||
+            end == val || *end != '\0' || n == 0) {
+            std::fprintf(stderr, "bad --store-max-mb '%s'\n", val);
+            return -1;
+        }
+        opts.storeMaxMb = static_cast<uint64_t>(n);
+        return 1;
+    }
     if ((r = takeValue(argc, argv, i, "--store", &val)) != 0) {
         if (r < 0)
             return -1;
@@ -275,6 +292,26 @@ parseCommonFlag(int argc, char **argv, int &i, FigureOptions &opts)
             return -1;
         }
         opts.storeDir = val;
+        return 1;
+    }
+    if ((r = takeValue(argc, argv, i, "--stats", &val)) != 0) {
+        if (r < 0)
+            return -1;
+        if (val[0] == '\0') {
+            std::fprintf(stderr, "bad --stats ''\n");
+            return -1;
+        }
+        opts.statsPath = val;
+        return 1;
+    }
+    if ((r = takeValue(argc, argv, i, "--perfetto", &val)) != 0) {
+        if (r < 0)
+            return -1;
+        if (val[0] == '\0') {
+            std::fprintf(stderr, "bad --perfetto ''\n");
+            return -1;
+        }
+        opts.perfettoPath = val;
         return 1;
     }
     return 0;
@@ -296,6 +333,12 @@ validateFigureOptions(const FigureOptions &opts)
         std::fprintf(stderr,
                      "--store-stats needs --store DIR (there are no "
                      "counters without a store)\n");
+        return false;
+    }
+    if (opts.storeMaxMb != 0 && opts.storeDir.empty()) {
+        std::fprintf(stderr,
+                     "--store-max-mb needs --store DIR (there is "
+                     "nothing to cap without a store)\n");
         return false;
     }
     return true;
@@ -329,13 +372,15 @@ printStoreStats(const ResultStore &store)
                             static_cast<double>(lookups);
     std::fprintf(stderr,
                  "[store] dir=%s hits=%llu misses=%llu stores=%llu "
-                 "bytesRead=%llu bytesWritten=%llu hitRate=%.1f%%\n",
+                 "bytesRead=%llu bytesWritten=%llu evictions=%llu "
+                 "hitRate=%.1f%%\n",
                  store.dir().c_str(),
                  static_cast<unsigned long long>(s.hits),
                  static_cast<unsigned long long>(s.misses),
                  static_cast<unsigned long long>(s.stores),
                  static_cast<unsigned long long>(s.bytesRead),
                  static_cast<unsigned long long>(s.bytesWritten),
+                 static_cast<unsigned long long>(s.evictions),
                  rate);
 }
 
@@ -373,6 +418,7 @@ namespace
 /** Shared by --help (stdout, exit 0) and bad usage (stderr, exit 2). */
 constexpr char kFigureUsage[] =
     "[--threads N | --workers N] [--store DIR] [--store-stats]\n"
+    "       [--store-max-mb N] [--stats FILE] [--perfetto FILE]\n"
     "       [--json] [--progress] [--scale S]\n"
     "\n"
     "  --threads N     in-process worker threads (default backend; "
@@ -388,6 +434,18 @@ constexpr char kFigureUsage[] =
     "it\n"
     "  --store-stats   print the [store] hit/miss line to stderr "
     "(needs --store)\n"
+    "  --store-max-mb N  cap the store's payload at N MiB: storing "
+    "past the cap\n"
+    "                  evicts the oldest entries first (needs "
+    "--store)\n"
+    "  --stats FILE    gem5-style `name value` telemetry dump of "
+    "every result\n"
+    "                  (\"-\" = stdout); occupancy needs "
+    "OOVA_TELEMETRY=1 or a\n"
+    "                  telemetry figure\n"
+    "  --perfetto FILE Chrome trace-event JSON of the sweep; open "
+    "in\n"
+    "                  ui.perfetto.dev\n"
     "  --json          machine-readable output with a run manifest\n"
     "  --progress      per-job heartbeat on stderr\n"
     "  --scale S       trace scale (overrides OOVA_SCALE)";
@@ -425,13 +483,21 @@ runFigureMain(const std::string &name, int argc, char **argv)
 
     TraceCache traces(opts.scale);
     std::unique_ptr<ResultStore> store;
-    if (!opts.storeDir.empty())
+    if (!opts.storeDir.empty()) {
         store = std::make_unique<ResultStore>(opts.storeDir);
+        if (opts.storeMaxMb)
+            store->setMaxBytes(opts.storeMaxMb << 20);
+    }
     SweepEngine engine = makeSweepEngine(traces, opts, store.get());
     if (opts.progress)
         installProgressMeter(engine);
     if (opts.json)
         engine.enableManifest();
+    SweepTraceLog traceLog;
+    if (!opts.perfettoPath.empty())
+        engine.setTraceLog(&traceLog);
+    if (!opts.statsPath.empty())
+        engine.enableResultCapture();
     auto t0 = std::chrono::steady_clock::now();
     FigureResult result = fig->fn(engine);
     std::string out;
@@ -456,6 +522,16 @@ runFigureMain(const std::string &name, int argc, char **argv)
     std::fputs(out.c_str(), stdout);
     if (store && opts.storeStats)
         printStoreStats(*store);
+    bool sideFilesOk = true;
+    if (!opts.statsPath.empty())
+        sideFilesOk = writeStatsDump(opts.statsPath,
+                                     engine.captured()) &&
+                      sideFilesOk;
+    if (!opts.perfettoPath.empty())
+        sideFilesOk = traceLog.write(opts.perfettoPath) &&
+                      sideFilesOk;
+    if (!sideFilesOk)
+        return 1;
     // Invariant-audit violations (observe-only, reported on stderr)
     // turn the exit code red without touching the figure output.
     return check::processExitCode();

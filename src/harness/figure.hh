@@ -81,9 +81,10 @@ struct RunManifest
     /**
      * Bump when the JSON envelope's shape changes. v2: added
      * resultSchemaVersion, the backend description, the optional
-     * store-stats block, and the per-job "cached" flag.
+     * store-stats block, and the per-job "cached" flag. v3: the
+     * store block gained "evictions" (the --store-max-mb cap).
      */
-    static constexpr int kSchemaVersion = 2;
+    static constexpr int kSchemaVersion = 3;
     /** SimResult::kResultSchemaVersion in force when this ran. */
     int resultSchemaVersion = SimResult::kResultSchemaVersion;
     double scale = 1.0;   ///< effective OOVA_SCALE
@@ -126,12 +127,22 @@ struct FigureOptions
     std::string storeDir;
     /** Print the [store] hit/miss line to stderr (--store-stats). */
     bool storeStats = false;
+    /**
+     * Store size cap in MiB (--store-max-mb); on-disk payload past
+     * it evicts the oldest entries at store time. 0 = uncapped.
+     */
+    uint64_t storeMaxMb = 0;
+    /** --stats FILE: gem5-style `name value` dump ("-" = stdout). */
+    std::string statsPath;
+    /** --perfetto FILE: Chrome trace-event JSON of the sweep. */
+    std::string perfettoPath;
 };
 
 /**
  * Cross-flag validation after parsing: rejects --threads combined
- * with --workers and --store-stats without --store, with an
- * explanatory message on stderr. Returns false on rejection.
+ * with --workers, and --store-stats or --store-max-mb without
+ * --store, with an explanatory message on stderr. Returns false on
+ * rejection.
  */
 bool validateFigureOptions(const FigureOptions &opts);
 
@@ -168,7 +179,8 @@ constexpr unsigned kMaxSweepThreads = 4096;
 /**
  * Try to consume argv[i] (and its value, if any) as one of the
  * common flags --threads N / --workers N / --json / --progress /
- * --scale S / --store DIR / --store-stats (value-taking flags also
+ * --scale S / --store DIR / --store-stats / --store-max-mb N /
+ * --stats FILE / --perfetto FILE (value-taking flags also
  * accept the --flag=value spelling). Returns 1 if consumed
  * (advancing @p i past any value), 0 if argv[i] is not a common
  * flag, -1 on a malformed value (after printing an error to stderr).

@@ -1,0 +1,108 @@
+#include "harness/perfetto.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace oova
+{
+
+namespace
+{
+
+/** Minimal JSON string escape (control chars, quote, backslash). */
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += csprintf("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+SweepTraceLog::render() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::ostringstream os;
+    os << "{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
+    bool first = true;
+    auto sep = [&] {
+        if (!first)
+            os << ",\n";
+        first = false;
+    };
+    for (const auto &[tid, name] : threadNames_) {
+        sep();
+        os << csprintf("{\"ph\": \"M\", \"name\": \"thread_name\", "
+                       "\"pid\": 1, \"tid\": %u, "
+                       "\"args\": {\"name\": \"%s\"}}",
+                       tid, escape(name).c_str());
+    }
+    for (const TraceSpan &s : spans_) {
+        sep();
+        os << csprintf("{\"ph\": \"X\", \"name\": \"%s\", "
+                       "\"cat\": \"%s\", \"pid\": 1, \"tid\": %u, "
+                       "\"ts\": %llu, \"dur\": %llu",
+                       escape(s.name).c_str(),
+                       escape(s.category).c_str(), s.tid,
+                       static_cast<unsigned long long>(s.tsUs),
+                       static_cast<unsigned long long>(s.durUs));
+        if (!s.args.empty()) {
+            os << ", \"args\": {";
+            for (size_t i = 0; i < s.args.size(); ++i) {
+                if (i)
+                    os << ", ";
+                os << "\"" << escape(s.args[i].first) << "\": \""
+                   << escape(s.args[i].second) << "\"";
+            }
+            os << "}";
+        }
+        os << "}";
+    }
+    os << "\n]\n}\n";
+    return os.str();
+}
+
+bool
+SweepTraceLog::write(const std::string &path) const
+{
+    std::string text = render();
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "--perfetto: cannot write '%s'\n",
+                     path.c_str());
+        return false;
+    }
+    size_t n = std::fwrite(text.data(), 1, text.size(), f);
+    bool ok = n == text.size() && std::fclose(f) == 0;
+    if (!ok)
+        std::fprintf(stderr, "--perfetto: short write to '%s'\n",
+                     path.c_str());
+    return ok;
+}
+
+} // namespace oova

@@ -1,9 +1,12 @@
 #include "harness/resultstore.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <unordered_set>
+#include <vector>
 #include <unistd.h>
 
 #include "common/logging.hh"
@@ -147,9 +150,78 @@ ResultStore::store(const std::string &key, const SimResult &res)
                         res.program.c_str(), res.machine.c_str());
     }
 
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.stores;
-    stats_.bytesWritten += body.size();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.stores;
+        stats_.bytesWritten += body.size();
+    }
+    if (maxBytes_ != 0)
+        enforceCap();
+}
+
+void
+ResultStore::setMaxBytes(uint64_t bytes)
+{
+    maxBytes_ = bytes;
+}
+
+void
+ResultStore::enforceCap()
+{
+    // index.log is append-only, so its line order is the entries'
+    // age order. A key can appear more than once — concurrent
+    // writers of one key all win, and an evicted key may be
+    // re-stored later — so a key's age is its *last* occurrence: a
+    // rewrite makes the entry fresh again.
+    std::vector<std::string> keys;
+    std::unordered_set<std::string> seen;
+    {
+        std::vector<std::string> raw;
+        std::ifstream idx(dir_ + "/index.log", std::ios::binary);
+        std::string line;
+        while (std::getline(idx, line)) {
+            size_t sp = line.find(' ');
+            std::string key =
+                sp == std::string::npos ? line : line.substr(0, sp);
+            if (!key.empty())
+                raw.push_back(std::move(key));
+        }
+        for (size_t i = raw.size(); i-- > 0;)
+            if (seen.insert(raw[i]).second)
+                keys.push_back(std::move(raw[i]));
+        std::reverse(keys.begin(), keys.end());
+    }
+
+    uint64_t total = 0;
+    std::vector<uint64_t> sizes(keys.size(), 0);
+    std::error_code ec;
+    for (size_t i = 0; i < keys.size(); ++i) {
+        // Already-evicted (or foreign-process-evicted) entries leave
+        // stale index lines behind; a missing file simply costs 0.
+        uint64_t sz = std::filesystem::file_size(entryPath(keys[i]),
+                                                 ec);
+        if (ec) {
+            ec.clear();
+            continue;
+        }
+        sizes[i] = sz;
+        total += sz;
+    }
+
+    uint64_t evicted = 0;
+    for (size_t i = 0; i < keys.size() && total > maxBytes_; ++i) {
+        if (sizes[i] == 0)
+            continue;
+        // Unlink is atomic: a reader mid-race gets a clean miss. A
+        // concurrent evictor may have won; only count our removal.
+        if (std::remove(entryPath(keys[i]).c_str()) == 0)
+            ++evicted;
+        total -= sizes[i];
+    }
+    if (evicted != 0) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stats_.evictions += evicted;
+    }
 }
 
 StoreStats

@@ -40,15 +40,18 @@ struct StoreStats
     uint64_t stores = 0;
     uint64_t bytesRead = 0;
     uint64_t bytesWritten = 0;
+    /** Entries unlinked by the size cap (setMaxBytes). */
+    uint64_t evictions = 0;
 };
 
 /** Per-figure deltas for the run manifest. */
 inline StoreStats
 operator-(const StoreStats &a, const StoreStats &b)
 {
-    return {a.hits - b.hits, a.misses - b.misses,
-            a.stores - b.stores, a.bytesRead - b.bytesRead,
-            a.bytesWritten - b.bytesWritten};
+    return {a.hits - b.hits,           a.misses - b.misses,
+            a.stores - b.stores,       a.bytesRead - b.bytesRead,
+            a.bytesWritten - b.bytesWritten,
+            a.evictions - b.evictions};
 }
 
 /** On-disk content-addressed SimResult store. See the file comment. */
@@ -95,14 +98,32 @@ class ResultStore
 
     const std::string &dir() const { return dir_; }
 
+    /**
+     * Cap the store's on-disk entry payload at @p bytes (0 =
+     * uncapped, the default). Enforced after every store(): while
+     * the entries' total size exceeds the cap, the oldest entries in
+     * index.log order are unlinked, oldest first. A key's age is its
+     * *last* index line, so rewriting (or re-storing an evicted)
+     * entry makes it fresh again, and the entry just written is the
+     * newest — it is evicted only when it exceeds the cap all by
+     * itself. Unlinking is atomic and index
+     * lines are never rewritten, so concurrent readers see an
+     * evicted entry as a clean miss and stale index lines are
+     * skipped; concurrent writers at worst both evict (idempotent).
+     */
+    void setMaxBytes(uint64_t bytes);
+
   private:
     std::string entryPath(const std::string &key) const;
     std::string headerLine(const std::string &key) const;
+    /** Apply the size cap; called after each successful store(). */
+    void enforceCap();
 
     std::string dir_;
     mutable std::mutex mutex_;
     StoreStats stats_;
     uint64_t tmpSeq_ = 0;
+    uint64_t maxBytes_ = 0;
 };
 
 } // namespace oova

@@ -63,12 +63,13 @@ std::string
 sweepConfigKey(const RefConfig &cfg)
 {
     // BEGIN config-key fields
-    return csprintf("REF/v1|%s|%d,%d,%u,%d|%s",
+    return csprintf("REF/v1|%s|%d,%d,%u,%d,%d|%s",
                     latKey(cfg.lat).c_str(),
                     static_cast<int>(cfg.modelPortConflicts),
                     static_cast<int>(cfg.chainLoadsToFus),
                     cfg.takenBranchPenalty,
                     static_cast<int>(cfg.cpiStack),
+                    static_cast<int>(cfg.telemetry),
                     memKey(cfg.mem).c_str());
     // END config-key fields
 }
@@ -78,14 +79,15 @@ sweepConfigKey(const OooConfig &cfg)
 {
     // BEGIN config-key fields
     return csprintf(
-        "OOO/v1|%s|%u,%u,%u,%u|%u,%u,%u,%u,%u,%u|%d,%d,%d,%u,%d|%s",
+        "OOO/v1|%s|%u,%u,%u,%u|%u,%u,%u,%u,%u,%u|%d,%d,%d,%u,%d,%d|%s",
         latKey(cfg.lat).c_str(), cfg.numPhysVRegs, cfg.numPhysARegs,
         cfg.numPhysSRegs, cfg.numPhysMRegs, cfg.queueSize,
         cfg.robSize, cfg.commitWidth, cfg.fetchBufferSize,
         cfg.btbEntries, cfg.rasDepth, static_cast<int>(cfg.commit),
         static_cast<int>(cfg.loadElim),
         static_cast<int>(cfg.chainLoadsToFus), cfg.trapPenalty,
-        static_cast<int>(cfg.cpiStack), memKey(cfg.mem).c_str());
+        static_cast<int>(cfg.cpiStack),
+        static_cast<int>(cfg.telemetry), memKey(cfg.mem).c_str());
     // END config-key fields
 }
 
@@ -180,6 +182,12 @@ SweepEngine::setProgress(std::function<void(size_t, size_t)> cb)
     backend_->setProgress(std::move(cb));
 }
 
+void
+SweepEngine::setTraceLog(SweepTraceLog *log)
+{
+    backend_->setTraceLog(log);
+}
+
 std::vector<SimResult>
 SweepEngine::run(const std::vector<SweepJob> &jobs) const
 {
@@ -193,6 +201,10 @@ SweepEngine::run(const std::vector<SweepJob> &jobs) const
                 manifest_.push_back({o.result.program,
                                      o.result.machine, o.wallMs,
                                      o.fromStore});
+    if (captureEnabled_)
+        for (const JobOutcome &o : outcomes)
+            if (!o.result.machine.empty())
+                captured_.push_back(o.result);
 
     std::vector<SimResult> results;
     results.reserve(outcomes.size());

@@ -31,6 +31,7 @@ namespace oova
 {
 
 class SweepBackend;
+class SweepTraceLog;
 
 /** One unit of sweep work: a trace × a machine model. */
 struct SweepJob
@@ -162,15 +163,38 @@ class SweepEngine
         return manifest_;
     }
 
+    /**
+     * Install a span sink on the backend chain for --perfetto; the
+     * log must outlive the engine's last run(). nullptr detaches.
+     */
+    void setTraceLog(SweepTraceLog *log);
+
+    /**
+     * Keep a copy of every SimResult of subsequent run() calls
+     * (prefetch dummies excluded). Drives the --stats dump, which
+     * needs the raw telemetry after the figure has reduced its
+     * results to table text.
+     */
+    void enableResultCapture() { captureEnabled_ = true; }
+
+    /** The results accumulated since enableResultCapture(). */
+    const std::vector<SimResult> &captured() const
+    {
+        return captured_;
+    }
+
   private:
     const TraceCache &traces_;
     std::unique_ptr<SweepBackend> backend_;
     bool manifestEnabled_ = false;
+    bool captureEnabled_ = false;
     /**
      * Appended after each batch's workers have joined (figures run
-     * batches serially from one thread), so no lock is needed.
+     * batches serially from one thread), so no lock is needed —
+     * same discipline for captured_.
      */
     mutable std::vector<JobRecord> manifest_;
+    mutable std::vector<SimResult> captured_;
 };
 
 /**

@@ -380,6 +380,15 @@ class CachedMemory : public MemorySystem
 
     Cycle freeAt(MemOp op) const override { return units_.freeAt(op); }
 
+    unsigned
+    inFlightMshrs(Cycle now) const override
+    {
+        unsigned busy = 0;
+        for (Cycle free_at : mshrFreeAt_)
+            busy += free_at > now ? 1 : 0;
+        return busy;
+    }
+
   private:
     struct Way
     {

@@ -292,6 +292,18 @@ class MemorySystem
     virtual const IntervalRecorder &busy() const { return busy_; }
 
     /**
+     * Miss-status registers still tracking an outstanding line fill
+     * at @p now. Zero for models without a cache; the occupancy
+     * telemetry layer samples this at event-calendar advances.
+     */
+    virtual unsigned
+    inFlightMshrs(Cycle now) const
+    {
+        (void)now;
+        return 0;
+    }
+
+    /**
      * The TLB in front of this model, or nullptr when translation is
      * disabled. The OOOVA uses it to route software-refilled misses
      * through its precise-trap path.

@@ -80,6 +80,78 @@ jsonString(const std::string &s)
     return out;
 }
 
+/**
+ * Flat field surface of one StatDistribution / StatTimeSeries for
+ * the keyed-object JSON encoding: exact integers only, one stable
+ * label per slot, parsed back through parseKeyedU64.
+ */
+constexpr unsigned kDistFields = 6 + StatDistribution::kNumBuckets;
+constexpr unsigned kTsFields = 2 + StatTimeSeries::kMaxEpochs;
+
+std::string
+distFieldName(unsigned i)
+{
+    static const char *kScalars[6] = {"width", "samples", "sum",
+                                      "sumsq", "min",     "max"};
+    if (i < 6)
+        return kScalars[i];
+    return csprintf("b%u", i - 6);
+}
+
+void
+distToVals(const StatDistribution &d, uint64_t *v)
+{
+    v[0] = d.width;
+    v[1] = d.samples;
+    v[2] = d.sum;
+    v[3] = d.sumSquares;
+    v[4] = d.minValue;
+    v[5] = d.maxValue;
+    for (size_t b = 0; b < StatDistribution::kNumBuckets; ++b)
+        v[6 + b] = d.buckets[b];
+}
+
+void
+distFromVals(StatDistribution &d, const uint64_t *v)
+{
+    d.width = v[0];
+    d.samples = v[1];
+    d.sum = v[2];
+    d.sumSquares = v[3];
+    d.minValue = v[4];
+    d.maxValue = v[5];
+    for (size_t b = 0; b < StatDistribution::kNumBuckets; ++b)
+        d.buckets[b] = v[6 + b];
+}
+
+std::string
+tsFieldName(unsigned i)
+{
+    if (i == 0)
+        return "epoch";
+    if (i == 1)
+        return "total";
+    return csprintf("e%u", i - 2);
+}
+
+void
+tsToVals(const StatTimeSeries &t, uint64_t *v)
+{
+    v[0] = t.epochLen;
+    v[1] = t.total;
+    for (size_t e = 0; e < StatTimeSeries::kMaxEpochs; ++e)
+        v[2 + e] = t.sums[e];
+}
+
+void
+tsFromVals(StatTimeSeries &t, const uint64_t *v)
+{
+    t.epochLen = v[0];
+    t.total = v[1];
+    for (size_t e = 0; e < StatTimeSeries::kMaxEpochs; ++e)
+        t.sums[e] = v[2 + e];
+}
+
 } // namespace
 
 std::string
@@ -140,6 +212,40 @@ SimResult::toJson() const
             os << ", ";
         os << jsonString(cpiBucketName(static_cast<CpiBucket>(b)))
            << ": " << cpiCycles[b];
+    }
+    os << "},\n";
+    os << "  \"occupancy\": {";
+    for (size_t s = 0; s < kNumOccStructs; ++s) {
+        uint64_t vals[kDistFields];
+        distToVals(occupancy[s], vals);
+        if (s)
+            os << ",";
+        os << "\n    "
+           << jsonString(occStructName(static_cast<OccStruct>(s)))
+           << ": {";
+        for (unsigned i = 0; i < kDistFields; ++i) {
+            if (i)
+                os << ", ";
+            os << jsonString(distFieldName(i)) << ": " << vals[i];
+        }
+        os << "}";
+    }
+    os << "},\n";
+    os << "  \"occupancyTs\": {";
+    for (size_t s = 0; s < kNumOccStructs; ++s) {
+        uint64_t vals[kTsFields];
+        tsToVals(occupancyTs[s], vals);
+        if (s)
+            os << ",";
+        os << "\n    "
+           << jsonString(occStructName(static_cast<OccStruct>(s)))
+           << ": {";
+        for (unsigned i = 0; i < kTsFields; ++i) {
+            if (i)
+                os << ", ";
+            os << jsonString(tsFieldName(i)) << ": " << vals[i];
+        }
+        os << "}";
     }
     os << "},\n";
     // Derived accessors, so consumers need not re-implement them.
@@ -331,6 +437,50 @@ parseKeyedU64(JsonCursor &p, uint64_t *vals, unsigned n, NameFn name)
     return p.lit('}') && seen == n;
 }
 
+/**
+ * Parse one "{structName: {field: count, ...}, ...}" telemetry
+ * object: every OccStruct label exactly once, each value a flat
+ * keyed record of @p n_fields slots handed to @p apply.
+ */
+template <typename NameFn, typename ApplyFn>
+bool
+parseOccupancyKeyed(JsonCursor &p, unsigned n_fields, NameFn name,
+                    ApplyFn apply)
+{
+    if (!p.lit('{'))
+        return false;
+    bool got[kNumOccStructs] = {};
+    bool first = true;
+    while (!p.peek('}')) {
+        if (!first && !p.lit(','))
+            return false;
+        first = false;
+        std::string key;
+        if (!p.str(key) || !p.lit(':'))
+            return false;
+        size_t idx = kNumOccStructs;
+        for (size_t i = 0; i < kNumOccStructs; ++i) {
+            if (key == occStructName(static_cast<OccStruct>(i))) {
+                idx = i;
+                break;
+            }
+        }
+        if (idx == kNumOccStructs || got[idx])
+            return false;
+        got[idx] = true;
+        std::array<uint64_t, kDistFields + kTsFields> vals{};
+        if (!parseKeyedU64(p, vals.data(), n_fields, name))
+            return false;
+        apply(idx, vals.data());
+    }
+    if (!p.lit('}'))
+        return false;
+    for (size_t i = 0; i < kNumOccStructs; ++i)
+        if (!got[i])
+            return false;
+    return true;
+}
+
 } // namespace
 
 bool
@@ -343,7 +493,7 @@ SimResult::fromJson(const std::string &json, SimResult &out)
 
     // Every stored (non-derived) field must appear exactly once;
     // kRequired is the count of ++required sites below.
-    constexpr unsigned kRequired = 29;
+    constexpr unsigned kRequired = 31;
     unsigned required = 0;
     bool sawVersion = false;
     bool first = true;
@@ -444,6 +594,20 @@ SimResult::fromJson(const std::string &json, SimResult &out)
                                    return cpiBucketName(
                                        static_cast<CpiBucket>(i));
                                });
+            ++required;
+        } else if (key == "occupancy") {
+            ok = parseOccupancyKeyed(
+                p, kDistFields, distFieldName,
+                [&r](size_t i, const uint64_t *vals) {
+                    distFromVals(r.occupancy[i], vals);
+                });
+            ++required;
+        } else if (key == "occupancyTs") {
+            ok = parseOccupancyKeyed(
+                p, kTsFields, tsFieldName,
+                [&r](size_t i, const uint64_t *vals) {
+                    tsFromVals(r.occupancyTs[i], vals);
+                });
             ++required;
         } else if (key == "portIdleFraction" || key == "ipc") {
             // Derived; validated, then recomputed from the fields.

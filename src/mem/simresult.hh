@@ -75,7 +75,7 @@ struct SimResult
      * it into the content-addressed key — so a stored record from an
      * older schema is a clean miss, never a silent misparse.
      */
-    static constexpr int kResultSchemaVersion = 2;
+    static constexpr int kResultSchemaVersion = 3;
 
     std::string program;
     std::string machine;
@@ -125,6 +125,17 @@ struct SimResult
      * the entries sum exactly to `cycles`.
      */
     std::array<uint64_t, kNumCpiBuckets> cpiCycles{};
+
+    /**
+     * Occupancy telemetry, one distribution and one bounded time
+     * series per machine structure (see OccStruct). Empty (zero
+     * samples) unless the config enables telemetry; when enabled,
+     * every sampled structure's sample count equals `cycles` — the
+     * occupancy-conservation checker's invariant. Exact integers,
+     * so the JSON round trip through the ResultStore is bit-exact.
+     */
+    std::array<StatDistribution, kNumOccStructs> occupancy{};
+    std::array<StatTimeSeries, kNumOccStructs> occupancyTs{};
 
     /** Fraction of cycles the memory port was idle (figures 4/6). */
     double

@@ -80,6 +80,8 @@ Tlb::Level::insert(Addr page, uint64_t tick)
         if (set[w].lastUse < victim->lastUse)
             victim = &set[w];
     }
+    if (!victim->valid)
+        ++valid;
     victim->page = page;
     victim->valid = true;
     victim->lastUse = tick;
@@ -333,6 +335,12 @@ class TranslatingMemorySystem : public MemorySystem
     const IntervalRecorder &busy() const override
     {
         return inner_->busy();
+    }
+
+    unsigned
+    inFlightMshrs(Cycle now) const override
+    {
+        return inner_->inFlightMshrs(now);
     }
 
     const MemStats &

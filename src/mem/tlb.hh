@@ -205,6 +205,17 @@ class Tlb
     uint64_t indexedMisses() const { return indexedMisses_; }
     uint64_t missCycles() const { return missCycles_; }
 
+    /**
+     * Valid entries across both levels right now. O(1): maintained
+     * at insert time (nothing ever invalidates an entry), so the
+     * occupancy telemetry can sample it every calendar advance.
+     */
+    unsigned
+    residentPages() const
+    {
+        return l1_.valid + l2_.valid;
+    }
+
     /** Snapshot for the invariant audit (see TlbAuditView). */
     TlbAuditView auditView() const;
 
@@ -222,6 +233,7 @@ class Tlb
         std::vector<Entry> ways;
         unsigned sets = 0;
         unsigned assoc = 0;
+        unsigned valid = 0; ///< valid ways (grows monotonically)
 
         void init(unsigned entries, unsigned associativity);
         bool empty() const { return ways.empty(); }

@@ -467,6 +467,21 @@ RefMachine::run()
             endCycle_ - issueEndPrev_;
     }
 
+    // Occupancy telemetry (observe-only): REF is in-order with no
+    // ROB, queues, renaming, or cache, so the only structure it
+    // models is concurrently-busy memory units — derived from the
+    // same busy-interval sweep the OOOVA uses, so the occupancy
+    // figure compares like with like.
+    std::array<StatDistribution, kNumOccStructs> occ{};
+    std::array<StatTimeSeries, kNumOccStructs> occTs{};
+    bool telemetry = cfg_.telemetry || telemetryForced();
+    if (telemetry) {
+        size_t mu = static_cast<size_t>(OccStruct::MemUnits);
+        occ[mu].setCapacity(std::max(cfg_.mem.memUnits, 1u));
+        accumulateIntervalDepth(mem_->busy(), endCycle_, occ[mu],
+                                occTs[mu]);
+    }
+
     // End-of-run audit: memory-counter containment and TLB
     // structural soundness. Observe-only; violations go to stderr
     // and the process-wide tally (check::processExitCode()).
@@ -482,6 +497,12 @@ RefMachine::run()
             check::Reporter cr = audit_.reporter("cpi-conservation",
                                                  endCycle_);
             check::checkCpiConservation(endCycle_, cpiCycles_, cr);
+        }
+        if (telemetry) {
+            check::Reporter oc = audit_.reporter(
+                "occupancy-conservation", endCycle_);
+            check::checkOccupancyConservation(endCycle_, occ, occTs,
+                                              oc);
         }
     }
 
@@ -507,6 +528,8 @@ RefMachine::run()
     res.tlbMissCycles = mem_->stats().tlbMissCycles;
     res.stallCycles = stallCycles_;
     res.cpiCycles = cpiCycles_;
+    res.occupancy = occ;
+    res.occupancyTs = occTs;
     res.stateCycles = UnitStateBreakdown::compute(
         fu2Rec_, fu1Rec_, mem_->busy(), endCycle_);
     return res;

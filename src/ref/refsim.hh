@@ -73,6 +73,14 @@ struct RefConfig
     bool cpiStack = false;
 
     /**
+     * Occupancy telemetry, mirroring OooConfig::telemetry. REF has
+     * no out-of-order structures; it fills only the mem-units
+     * occupancy (concurrently busy memory units, derived from the
+     * busy-interval sweep at end of run). Observe-only.
+     */
+    bool telemetry = false;
+
+    /**
      * The memory hierarchy (default: the paper's flat address bus;
      * see mem/memsystem.hh). Non-default models are reflected in the
      * result's machine label, e.g. "REF/mb8p1".

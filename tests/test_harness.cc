@@ -15,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "harness/backend.hh"
 #include "harness/experiment.hh"
 #include "harness/figure.hh"
 #include "harness/sweep.hh"
@@ -118,6 +119,35 @@ TEST(SweepEngine, ZeroThreadsMeansHardwareConcurrency)
     TraceCache traces(kTestScale);
     SweepEngine engine(traces, 0);
     EXPECT_GE(engine.threads(), 1u);
+}
+
+TEST(SweepEngine, ProgressFiresPerJobThroughForkedBackend)
+{
+    // --progress must keep working when results stream back from
+    // forked worker processes: one callback per completed job, with
+    // a monotone done count reaching the batch size.
+    TraceCache traces(kTestScale);
+    std::vector<SweepJob> jobs = testBatch(traces);
+    SweepEngine engine(traces,
+                       std::make_unique<ForkedBackend>(traces, 2));
+
+    std::atomic<size_t> calls{0};
+    std::atomic<size_t> maxDone{0};
+    std::atomic<size_t> badTotal{0};
+    engine.setProgress([&](size_t done, size_t total) {
+        ++calls;
+        size_t prev = maxDone.load();
+        while (prev < done && !maxDone.compare_exchange_weak(prev, done)) {
+        }
+        if (total != jobs.size())
+            ++badTotal;
+    });
+
+    std::vector<SimResult> res = engine.run(jobs);
+    ASSERT_EQ(res.size(), jobs.size());
+    EXPECT_EQ(calls.load(), jobs.size());
+    EXPECT_EQ(maxDone.load(), jobs.size());
+    EXPECT_EQ(badTotal.load(), 0u);
 }
 
 TEST(JobSet, IndicesReadBackAfterRun)
@@ -248,8 +278,10 @@ TEST(Speedup, ZeroCyclesIsNaNNotZero)
 TEST(FigureRegistry, AllFiguresRegisteredAndFindable)
 {
     const auto &registry = figureRegistry();
-    EXPECT_EQ(registry.size(), 22u);
+    EXPECT_EQ(registry.size(), 23u);
     EXPECT_EQ(findFigure("cpistack"), findFigure("cpi_stack"));
+    EXPECT_EQ(findFigure("occupancy"), findFigure("occupancy_hist"));
+    EXPECT_NE(findFigure("occupancy"), nullptr);
     EXPECT_NE(findFigure("cpistack"), nullptr);
     EXPECT_NE(findFigure("fig5"), nullptr);
     EXPECT_NE(findFigure("fig5_speedup"), nullptr);
@@ -356,6 +388,35 @@ TEST(FigureFlags, ParsesSweepFarmFlags)
     EXPECT_EQ(parseAll({"--workers"}, opts), -1);
     EXPECT_EQ(parseAll({"--store"}, opts), -1);
     EXPECT_EQ(parseAll({"--store", ""}, opts), -1);
+}
+
+TEST(FigureFlags, ParsesTelemetryFlags)
+{
+    FigureOptions opts;
+    EXPECT_EQ(parseAll({"--store", "/tmp/st", "--store-max-mb", "64",
+                        "--stats", "out.txt",
+                        "--perfetto=trace.json"},
+                       opts),
+              1);
+    EXPECT_EQ(opts.storeMaxMb, 64u);
+    EXPECT_EQ(opts.statsPath, "out.txt");
+    EXPECT_EQ(opts.perfettoPath, "trace.json");
+    EXPECT_TRUE(validateFigureOptions(opts));
+
+    // A cap of zero MiB would mean "evict everything": rejected, as
+    // are the usual malformed spellings.
+    EXPECT_EQ(parseAll({"--store-max-mb", "0"}, opts), -1);
+    EXPECT_EQ(parseAll({"--store-max-mb", "4x"}, opts), -1);
+    EXPECT_EQ(parseAll({"--store-max-mb"}, opts), -1);
+    EXPECT_EQ(parseAll({"--stats", ""}, opts), -1);
+    EXPECT_EQ(parseAll({"--stats"}, opts), -1);
+    EXPECT_EQ(parseAll({"--perfetto="}, opts), -1);
+
+    // Capping a store that was never configured is a cross-flag
+    // error, like --store-stats without --store.
+    FigureOptions capOnly;
+    ASSERT_EQ(parseAll({"--store-max-mb", "8"}, capOnly), 1);
+    EXPECT_FALSE(validateFigureOptions(capOnly));
 }
 
 TEST(FigureFlags, AcceptsEqualsSpellings)

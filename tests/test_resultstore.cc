@@ -71,6 +71,22 @@ fullyPopulatedResult()
         r.stallCycles[i] = 400 + i;
     for (size_t i = 0; i < r.cpiCycles.size(); ++i)
         r.cpiCycles[i] = 500 + i;
+    for (size_t i = 0; i < r.occupancy.size(); ++i) {
+        StatDistribution &d = r.occupancy[i];
+        d.width = 2 + i;
+        d.samples = 600 + i;
+        d.sum = 700 + i;
+        d.sumSquares = 800 + i;
+        d.minValue = 1 + i;
+        d.maxValue = 90 + i;
+        for (size_t b = 0; b < d.buckets.size(); ++b)
+            d.buckets[b] = 1000 + i * d.buckets.size() + b;
+        StatTimeSeries &ts = r.occupancyTs[i];
+        ts.epochLen = 1ull << i;
+        ts.total = 900 + i;
+        for (size_t e = 0; e < ts.sums.size(); ++e)
+            ts.sums[e] = 2000 + i * ts.sums.size() + e;
+    }
     return r;
 }
 
@@ -107,6 +123,8 @@ expectSameResult(const SimResult &a, const SimResult &b)
     EXPECT_EQ(a.traps, b.traps);
     EXPECT_EQ(a.stallCycles, b.stallCycles);
     EXPECT_EQ(a.cpiCycles, b.cpiCycles);
+    EXPECT_EQ(a.occupancy, b.occupancy);
+    EXPECT_EQ(a.occupancyTs, b.occupancyTs);
 }
 
 /** Fresh per-test store directory under the build tree. */
@@ -343,6 +361,63 @@ TEST(ResultStore, ConcurrentWritersOfOneKeyAllWin)
     ASSERT_TRUE(store.load(key, out));
     expectSameResult(in, out);
     EXPECT_EQ(store.stats().stores, 8u);
+}
+
+// ------------------------------------------------------- size cap
+
+TEST(ResultStore, CapLeavesEntriesBelowItAlone)
+{
+    ResultStore store(makeStoreDir("capunder"));
+    // Far above what two entries occupy: nothing may be evicted,
+    // and both stay warm hits.
+    store.setMaxBytes(64 * 1024 * 1024);
+    SimResult in = fullyPopulatedResult();
+    std::string k1 = ResultStore::makeKey(1, "cfg", 0.25);
+    std::string k2 = ResultStore::makeKey(2, "cfg", 0.25);
+    store.store(k1, in);
+    store.store(k2, in);
+
+    SimResult out;
+    EXPECT_TRUE(store.load(k1, out));
+    EXPECT_TRUE(store.load(k2, out));
+    expectSameResult(in, out);
+    EXPECT_EQ(store.stats().evictions, 0u);
+}
+
+TEST(ResultStore, CapEvictsOldestFirstAsCleanMisses)
+{
+    ResultStore store(makeStoreDir("capover"));
+    SimResult in = fullyPopulatedResult();
+    std::string k0 = ResultStore::makeKey(10, "cfg", 0.25);
+    std::string k1 = ResultStore::makeKey(11, "cfg", 0.25);
+    std::string k2 = ResultStore::makeKey(12, "cfg", 0.25);
+
+    // Measure one entry's on-disk size, then cap at two and a half
+    // entries: the third store must push the oldest out.
+    store.store(k0, in);
+    uint64_t entryBytes = store.stats().bytesWritten;
+    ASSERT_GT(entryBytes, 0u);
+    store.setMaxBytes(entryBytes * 5 / 2);
+
+    store.store(k1, in); // 2 entries: still under the cap
+    EXPECT_EQ(store.stats().evictions, 0u);
+    store.store(k2, in); // 3 entries: k0 (oldest) must go
+
+    SimResult out;
+    EXPECT_FALSE(store.load(k0, out)); // evicted: a clean miss
+    EXPECT_TRUE(store.load(k1, out));
+    EXPECT_TRUE(store.load(k2, out));
+    expectSameResult(in, out);
+    EXPECT_EQ(store.stats().evictions, 1u);
+
+    // Re-storing the evicted key appends a fresh index line, which
+    // resets its age: the re-stored entry is now the newest, so the
+    // next eviction takes k1 (the new oldest), not k0 again.
+    store.store(k0, in);
+    EXPECT_TRUE(store.load(k0, out));
+    EXPECT_FALSE(store.load(k1, out));
+    EXPECT_TRUE(store.load(k2, out));
+    EXPECT_EQ(store.stats().evictions, 2u);
 }
 
 // --------------------------------------------------- StoreBackend
