@@ -51,6 +51,8 @@ printUsage(std::FILE *to, const char *argv0)
         to,
         "usage: %s <figure>|all|--list [--threads N | --workers N]\n"
         "       %*s [--store DIR] [--store-stats] [--store-max-mb N]\n"
+        "       %*s [--store-fsync] [--job-timeout-ms N] "
+        "[--max-retries N]\n"
         "       %*s [--stats FILE] [--perfetto FILE] [--json] "
         "[--progress] [--scale S]\n"
         "       %s <benchmark> --pipetrace=FILE [--trace-limit=N] "
@@ -64,6 +66,15 @@ printUsage(std::FILE *to, const char *argv0)
         "exclusive: neither\n"
         "                  takes precedence, passing both is an "
         "error\n"
+        "  --job-timeout-ms N  kill and respawn a forked worker "
+        "whose next result\n"
+        "                  is overdue by N ms, requeueing its jobs "
+        "(needs --workers)\n"
+        "  --max-retries N extra attempts per job after a worker "
+        "failure before\n"
+        "                  the sweep fails with the job's attempt "
+        "history\n"
+        "                  (default 2; needs --workers)\n"
         "  --store DIR     content-addressed result store: serve "
         "previously computed\n"
         "                  results from DIR, persist fresh results "
@@ -74,6 +85,9 @@ printUsage(std::FILE *to, const char *argv0)
         "storing past the cap\n"
         "                  evicts the oldest entries first (needs "
         "--store)\n"
+        "  --store-fsync   fsync store entries before publishing "
+        "them (crash\n"
+        "                  durability; needs --store)\n"
         "  --stats FILE    gem5-style `name value` telemetry dump "
         "of every result\n"
         "                  (\"-\" = stdout); occupancy needs "
@@ -87,6 +101,7 @@ printUsage(std::FILE *to, const char *argv0)
         "  --progress      per-job heartbeat on stderr\n"
         "  --scale S       trace scale (overrides OOVA_SCALE)\n",
         argv0, static_cast<int>(std::strlen(argv0)), "",
+        static_cast<int>(std::strlen(argv0)), "",
         static_cast<int>(std::strlen(argv0)), "", argv0);
     std::fprintf(to, "figures:\n");
     for (const auto &fig : figureRegistry())
@@ -228,6 +243,8 @@ main(int argc, char **argv)
         store = std::make_unique<ResultStore>(opts.storeDir);
         if (opts.storeMaxMb)
             store->setMaxBytes(opts.storeMaxMb << 20);
+        if (opts.storeFsync)
+            store->setFsync(true);
     }
     SweepEngine engine = makeSweepEngine(traces, opts, store.get());
     if (opts.progress)
@@ -250,6 +267,7 @@ main(int argc, char **argv)
         StoreStats before;
         if (store)
             before = store->stats();
+        SweepFaultStats faultsBefore = engine.faultStats();
         auto t0 = std::chrono::steady_clock::now();
         FigureResult result = figs[i]->fn(engine);
         std::string out;
@@ -266,6 +284,7 @@ main(int argc, char **argv)
                 manifest.hasStore = true;
                 manifest.store = store->stats() - before;
             }
+            manifest.faults = engine.faultStats() - faultsBefore;
             manifest.jobs.assign(
                 engine.manifest().begin() +
                     static_cast<std::ptrdiff_t>(firstJob),

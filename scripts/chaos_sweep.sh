@@ -1,0 +1,130 @@
+#!/usr/bin/env bash
+# Chaos gate: run the full figure suite over 4 forked workers while
+# OOVA_FAULT injects a rotating schedule of failures — worker
+# crashes, hangs, torn and garbage frames, fork failures, store
+# corruption — with the full invariant audit (OOVA_CHECK=2) riding
+# along. Every recovered run must be byte-identical to its checked-in
+# golden and exit zero (no violations); the store passes must
+# quarantine what was corrupted. Proves the fault-tolerance paths on
+# the whole suite, not just the unit-test batches.
+#
+# usage: chaos_sweep.sh <oova_bench> <store-dir> <out-dir>
+#
+# Per-figure outputs, stderr logs and the quarantined .bad entries
+# land in <out-dir> (kept as a CI artifact).
+set -u
+
+BENCH="${1:?usage: chaos_sweep.sh <oova_bench> <store-dir> <out-dir>}"
+STORE="${2:?usage: chaos_sweep.sh <oova_bench> <store-dir> <out-dir>}"
+OUT="${3:?usage: chaos_sweep.sh <oova_bench> <store-dir> <out-dir>}"
+
+# Goldens are captured at 0.25; the audit must ride along everywhere.
+export OOVA_SCALE=0.25
+export OOVA_CHECK=2
+
+GOLDEN_DIR="$(cd "$(dirname "$0")/.." && pwd)/tests/golden"
+
+mkdir -p "$OUT" || exit 1
+
+figures="$("$BENCH" --list | awk '{print $1}' |
+    grep -v '^simspeed$')" || {
+    echo "chaos_sweep: cannot list figures" >&2
+    exit 1
+}
+
+# The rotating schedule: figure i gets schedule (i mod N). Every
+# spec here is recoverable with the default --max-retries 2;
+# worker-hang is assigned separately (below) because each hang costs
+# one full --job-timeout-ms wait, which is too slow to rotate over
+# every figure.
+specs=(
+    "worker-exit:2"
+    "frame-truncate:1"
+    "frame-garbage:2"
+    "fork-fail:1"
+    "worker-exit:1,frame-garbage:1"
+)
+
+fail=0
+i=0
+for fig in $figures; do
+    spec="${specs[$((i % ${#specs[@]}))]}"
+    i=$((i + 1))
+    if ! OOVA_FAULT="$spec" "$BENCH" "$fig" --workers 4 \
+            > "$OUT/$fig.txt" 2> "$OUT/$fig.err.txt"; then
+        echo "FAIL: $fig under OOVA_FAULT=$spec exited non-zero" >&2
+        fail=1
+    fi
+    if ! diff -u "$GOLDEN_DIR/$fig.txt" "$OUT/$fig.txt" \
+            > "$OUT/$fig.diff.txt"; then
+        echo "FAIL: $fig under OOVA_FAULT=$spec differs from its" \
+            "golden (see $fig.diff.txt)" >&2
+        fail=1
+    fi
+done
+
+# The watchdog pass: one hang on one small figure, recovered via
+# --job-timeout-ms. fig4 sweeps a handful of configs, so the single
+# timeout wait dominates but stays cheap.
+hang_fig=fig4
+if ! OOVA_FAULT=worker-hang:1 "$BENCH" "$hang_fig" --workers 4 \
+        --job-timeout-ms 2000 \
+        > "$OUT/$hang_fig.hang.txt" 2> "$OUT/$hang_fig.hang.err.txt"
+then
+    echo "FAIL: $hang_fig hang run exited non-zero" >&2
+    fail=1
+fi
+if ! diff -u "$GOLDEN_DIR/$hang_fig.txt" "$OUT/$hang_fig.hang.txt" \
+        > "$OUT/$hang_fig.hang.diff.txt"; then
+    echo "FAIL: $hang_fig hang run differs from its golden" >&2
+    fail=1
+fi
+if ! grep -q "timed out" "$OUT/$hang_fig.hang.err.txt"; then
+    echo "FAIL: $hang_fig hang run never tripped the watchdog" >&2
+    fail=1
+fi
+
+# The store passes: populate with one corrupt entry and one torn
+# index append injected, then re-run warm — the corrupt entry must
+# be quarantined (counted, .bad preserved) and re-simulated, the
+# torn index tolerated, and the bytes unchanged throughout.
+store_fig=fig5
+if ! OOVA_FAULT=store-corrupt:3,store-torn-index:2 "$BENCH" \
+        "$store_fig" --store "$STORE" --store-stats \
+        > "$OUT/$store_fig.cold.txt" \
+        2> "$OUT/$store_fig.cold.err.txt"; then
+    echo "FAIL: $store_fig cold store run exited non-zero" >&2
+    fail=1
+fi
+if ! "$BENCH" "$store_fig" --store "$STORE" --workers 4 \
+        --store-stats > "$OUT/$store_fig.warm.txt" \
+        2> "$OUT/$store_fig.warm.err.txt"; then
+    echo "FAIL: $store_fig warm store run exited non-zero" >&2
+    fail=1
+fi
+for pass in cold warm; do
+    if ! diff -u "$GOLDEN_DIR/$store_fig.txt" \
+            "$OUT/$store_fig.$pass.txt" \
+            > "$OUT/$store_fig.$pass.diff.txt"; then
+        echo "FAIL: $store_fig $pass store run differs from its" \
+            "golden" >&2
+        fail=1
+    fi
+done
+if ! grep -q 'quarantined=1' "$OUT/$store_fig.warm.err.txt"; then
+    echo "FAIL: warm store run did not report quarantined=1" >&2
+    fail=1
+fi
+bad="$(ls "$STORE"/*.bad 2>/dev/null | wc -l)"
+if [ "$bad" -lt 1 ]; then
+    echo "FAIL: no quarantined .bad entry left for post-mortem" >&2
+    fail=1
+else
+    cp "$STORE"/*.bad "$OUT/" 2>/dev/null
+fi
+
+if [ "$fail" -eq 0 ]; then
+    echo "chaos_sweep: OK ($(echo "$figures" | wc -w) figures under" \
+        "rotating faults, 1 hang, 1 quarantine)"
+fi
+exit "$fail"

@@ -77,5 +77,59 @@ elif [ $((hits * 100)) -lt $((total * 90)) ]; then
     fail=1
 fi
 
+# Corruption pass: truncate one stored entry mid-file (the on-disk
+# shape a lost write leaves behind) and re-run every figure warm.
+# Whichever figure owns the victim must quarantine it to <key>.bad
+# and re-simulate — same bytes out, no crash, no stale hit — and the
+# next store() heals the key, so the hit-rate gate stays satisfied:
+# one corrupt entry costs exactly one miss.
+victim="$(ls "$STORE"/*.json 2>/dev/null | head -1)"
+if [ -z "$victim" ]; then
+    echo "FAIL: corruption pass found no store entries to corrupt" >&2
+    fail=1
+else
+    size="$(wc -c < "$victim")"
+    truncate -s $((size / 2)) "$victim" || {
+        echo "FAIL: cannot truncate $victim" >&2
+        fail=1
+    }
+    for fig in $figures; do
+        if ! "$BENCH" "$fig" --store "$STORE" --workers 4 \
+                --store-stats > "$OUT/$fig.corrupt.txt" \
+                2> "$OUT/$fig.corrupt.stats.txt"; then
+            echo "FAIL: $fig corrupt-store run exited non-zero" >&2
+            fail=1
+        fi
+        if [ "$fig" != simspeed ] &&
+                ! diff -u "$OUT/$fig.cold.txt" \
+                    "$OUT/$fig.corrupt.txt" \
+                    > "$OUT/$fig.corrupt.diff.txt"; then
+            echo "FAIL: $fig corrupt-store output differs from cold" \
+                "run (see $fig.corrupt.diff.txt)" >&2
+            fail=1
+        fi
+    done
+    bad="$(ls "$STORE"/*.bad 2>/dev/null | wc -l)"
+    if [ "$bad" -lt 1 ]; then
+        echo "FAIL: corrupt entry was not quarantined to <key>.bad" >&2
+        fail=1
+    fi
+    quarantined=0
+    for fig in $figures; do
+        line="$(grep '^\[store\]' "$OUT/$fig.corrupt.stats.txt" |
+            tail -1)"
+        q="$(printf '%s\n' "$line" |
+            sed -n 's/.*quarantined=\([0-9]*\).*/\1/p')"
+        quarantined=$((quarantined + ${q:-0}))
+    done
+    echo "check_store: corruption pass: $bad .bad file(s)," \
+        "$quarantined quarantine(s) reported"
+    if [ "$quarantined" -lt 1 ]; then
+        echo "FAIL: no run reported quarantined=N in its [store]" \
+            "line" >&2
+        fail=1
+    fi
+fi
+
 [ "$fail" -eq 0 ] && echo "check_store: OK"
 exit "$fail"

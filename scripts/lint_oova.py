@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Project-specific lint gate.
 
-Eight repo invariants that neither the compiler nor clang-tidy can
+Nine repo invariants that neither the compiler nor clang-tidy can
 see, each of which has bitten (or nearly bitten) a past PR:
 
   1. Every registered figure has a checked-in golden
@@ -36,6 +36,12 @@ see, each of which has bitten (or nearly bitten) a past PR:
      so every registered occupancy distribution reaches both output
      surfaces — a structure nobody can read about, parse out of the
      JSON, or grep out of the stats dump is dead telemetry.
+  9. Every fault-injection Site enum entry has a siteName() label
+     and a row in the README's fault-injection-site table, and vice
+     versa — OOVA_FAULT specs are parsed by resolving names through
+     siteName(), so a site missing a label is unreachable from any
+     spec, and a site missing from the README is one nobody knows
+     how to inject.
 
 Exit code: 0 clean, 1 violations (each printed as "LINT: ...").
 """
@@ -407,6 +413,78 @@ for rel in ("src/mem/simresult.cc", "src/harness/statsdump.cc"):
             "occStructName() — a new OccStruct entry would silently "
             "miss this output surface")
 
+# ---------------------------------------------------------------
+# Rule 9: fault-injection Site enum <-> siteName() labels <-> README
+# fault-site table, all three in sync, both directions.
+# ---------------------------------------------------------------
+
+def fault_enum_entries() -> list:
+    """faultinj::Site enumerators (minus the NumSites sentinel)."""
+    src = (ROOT / "src/harness/faultinj.hh").read_text()
+    m = re.search(r"enum class Site[^{]*\{(.*?)\n\};", src, re.S)
+    if not m:
+        err("enum class Site not found in src/harness/faultinj.hh")
+        return []
+    body = re.sub(r"/\*.*?\*/", "", m.group(1), flags=re.S)
+    body = re.sub(r"//[^\n]*", "", body)
+    entries = re.findall(r"\b([A-Z]\w*)\b", body)
+    return [e for e in entries if e != "NumSites"]
+
+
+def fault_name_labels() -> dict:
+    """Enumerator -> spec name, from siteName()'s switch."""
+    src = (ROOT / "src/harness/faultinj.cc").read_text()
+    # Anchor to the definition: the spec parser *calls* siteName()
+    # earlier in the file.
+    m = re.search(r"siteName\(Site site\).*?\n\}", src, re.S)
+    if not m:
+        err("siteName() definition not found in "
+            "src/harness/faultinj.cc")
+        return {}
+    return dict(re.findall(
+        r'case Site::(\w+):\s*return "([a-z-]+)"', m.group(0)))
+
+
+def readme_fault_labels() -> list:
+    """Site names from the README's fault-injection table."""
+    text = (ROOT / "README.md").read_text()
+    m = re.search(r"### Fault-injection sites\n(.*?)(?:\n#|\Z)",
+                  text, re.S)
+    if not m:
+        err("README.md has no '### Fault-injection sites' section")
+        return []
+    return re.findall(r"^\| `([a-z-]+)` \|", m.group(1), re.M)
+
+
+fault_entries = fault_enum_entries()
+fault_labels = fault_name_labels()
+fault_readme = readme_fault_labels()
+
+for entry in fault_entries:
+    if entry not in fault_labels:
+        err(f"faultinj::Site::{entry} has no label in siteName() "
+            "(src/harness/faultinj.cc) — no OOVA_FAULT spec can "
+            "reach it")
+for entry in fault_labels:
+    if entry not in fault_entries:
+        err(f"siteName() labels unknown fault site Site::{entry}")
+for entry, label in sorted(fault_labels.items()):
+    if label not in fault_readme:
+        err(f"fault site '{label}' (Site::{entry}) missing from the "
+            "README's '### Fault-injection sites' table")
+for label in fault_readme:
+    if label not in fault_labels.values():
+        err(f"README fault-site table row '{label}' matches no "
+            "siteName() label")
+
+# The spec parser must resolve site names through siteName() — that
+# is what keeps the enum, the spec grammar and the docs one list.
+if "siteName(static_cast<Site>" not in (
+        ROOT / "src/harness/faultinj.cc").read_text():
+    err("src/harness/faultinj.cc's spec parser does not resolve "
+        "site names through siteName() — the spec grammar would "
+        "drift from the enum")
+
 if errors:
     print(f"lint_oova: {len(errors)} violation(s)")
     sys.exit(1)
@@ -414,4 +492,5 @@ print("lint_oova: all checks passed "
       f"({len(figures)} figures, {len(fields)} SimResult fields, "
       f"{len(cpi_entries)} CPI buckets, "
       f"{config_member_count} config-key members, "
-      f"{len(occ_entries)} occupancy structures)")
+      f"{len(occ_entries)} occupancy structures, "
+      f"{len(fault_entries)} fault sites)")

@@ -85,6 +85,12 @@ class SweepBackend
      */
     virtual void setTraceLog(SweepTraceLog *log) { traceLog_ = log; }
 
+    /**
+     * Fault-recovery counters accumulated across run() calls.
+     * Backends without failure modes report all zeros.
+     */
+    virtual SweepFaultStats faultStats() const { return {}; }
+
   protected:
     std::function<void(size_t, size_t)> progress_;
     SweepTraceLog *traceLog_ = nullptr;
@@ -119,31 +125,59 @@ class InProcessBackend : public SweepBackend
 };
 
 /**
- * Fork-based sharding: job i runs in worker (i mod N). The parent
- * generates every named trace before forking, so workers inherit
- * the trace pages copy-on-write instead of regenerating them; each
- * worker streams [u32 len][u64 idx][u64 wallUs][toJson() payload]
- * frames back over its pipe, ending with a sentinel frame carrying
- * its invariant-audit violation tally, which the parent folds into
- * this process's tally. A worker that dies or breaks protocol is
- * fatal — a sweep must never silently lose jobs.
+ * Fork-based sharding with worker supervision. Job i initially runs
+ * in worker (i mod N); the parent generates every named trace before
+ * forking, so workers inherit the trace pages copy-on-write instead
+ * of regenerating them. Each worker streams
+ * [u32 len][u64 idx][u64 wallUs][u64 vio][toJson() payload] frames
+ * back over its pipe (vio = the job's invariant-audit violation
+ * delta, folded into the parent's tally per frame so no tally is
+ * lost with a dying worker), ending with a zero-length sentinel
+ * frame.
+ *
+ * The parent is a single-threaded poll() supervisor over nonblocking
+ * pipes: it detects worker death (EOF / waitpid), protocol breakage
+ * (torn or garbage frames) and stalls (--job-timeout-ms wall-clock
+ * watchdog), requeues the lost worker's unfinished jobs onto a
+ * respawned worker with exponential backoff, and gives every job up
+ * to 1 + maxRetries attempts before failing the sweep with the job's
+ * full attempt history. When forking itself fails (or stops being
+ * worth retrying), the remaining jobs fall back to an in-process
+ * run with a structured warning — submission-order results either
+ * way, so recovered output is byte-identical to a clean run.
  */
 class ForkedBackend : public SweepBackend
 {
   public:
-    /** @param workers forked worker processes; 0 means hardware
-     *  concurrency. */
+    /** Default extra attempts per job after its first failure. */
+    static constexpr unsigned kDefaultMaxRetries = 2;
+
+    /**
+     * @param workers      forked worker processes; 0 means hardware
+     *                     concurrency.
+     * @param jobTimeoutMs kill + requeue a worker whose next frame
+     *                     is overdue by this much; 0 disables the
+     *                     watchdog.
+     * @param maxRetries   extra attempts per job after its first
+     *                     failure; exhausting them is fatal.
+     */
     explicit ForkedBackend(const TraceCache &traces,
-                           unsigned workers = 0);
+                           unsigned workers = 0,
+                           uint64_t jobTimeoutMs = 0,
+                           unsigned maxRetries = kDefaultMaxRetries);
 
     std::vector<JobOutcome>
     run(const std::vector<SweepJob> &jobs) override;
     unsigned parallelism() const override { return workers_; }
     std::string describe() const override;
+    SweepFaultStats faultStats() const override { return faults_; }
 
   private:
     const TraceCache &traces_;
     unsigned workers_;
+    uint64_t jobTimeoutMs_;
+    unsigned maxRetries_;
+    SweepFaultStats faults_;
 };
 
 /**
@@ -172,6 +206,12 @@ class StoreBackend : public SweepBackend
     void setProgress(std::function<void(size_t, size_t)> cb) override;
     /** Kept by the decorator and forwarded to the inner backend. */
     void setTraceLog(SweepTraceLog *log) override;
+    /** The inner backend's counters (the store itself never forks). */
+    SweepFaultStats
+    faultStats() const override
+    {
+        return inner_->faultStats();
+    }
 
   private:
     ResultStore &store_;

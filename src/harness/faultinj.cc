@@ -1,0 +1,137 @@
+#include "harness/faultinj.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace oova::faultinj
+{
+
+namespace
+{
+
+constexpr size_t kNumSites = static_cast<size_t>(Site::NumSites);
+
+/** The parsed OOVA_FAULT plan: per site, the armed 1-based counts. */
+struct Plan
+{
+    std::set<uint64_t> armed[kNumSites];
+    bool any = false;
+};
+
+Plan plan;
+std::atomic<uint64_t> counters[kNumSites];
+/** Fast path: false means shouldFire() is one load and a branch. */
+std::atomic<bool> armedAny{false};
+std::once_flag envParsed;
+
+void
+parseSpec(const std::string &spec)
+{
+    Plan next;
+    size_t pos = 0;
+    while (pos < spec.size()) {
+        size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        std::string entry = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (entry.empty())
+            continue;
+        size_t colon = entry.find(':');
+        if (colon == std::string::npos)
+            fatal("OOVA_FAULT: entry '%s' is not <site>:<nth>",
+                  entry.c_str());
+        std::string name = entry.substr(0, colon);
+        std::string nth = entry.substr(colon + 1);
+        size_t site = kNumSites;
+        for (size_t s = 0; s < kNumSites; ++s)
+            if (name == siteName(static_cast<Site>(s)))
+                site = s;
+        if (site == kNumSites)
+            fatal("OOVA_FAULT: unknown site '%s'", name.c_str());
+        char *end = nullptr;
+        unsigned long long n = std::strtoull(nth.c_str(), &end, 10);
+        if (nth.empty() || *end != '\0' || n == 0)
+            fatal("OOVA_FAULT: bad occurrence '%s' for site '%s' "
+                  "(need a 1-based count)",
+                  nth.c_str(), name.c_str());
+        next.armed[site].insert(n);
+        next.any = true;
+    }
+    plan = std::move(next);
+    armedAny.store(plan.any, std::memory_order_release);
+}
+
+void
+parseEnvOnce()
+{
+    std::call_once(envParsed, [] {
+        const char *spec = std::getenv("OOVA_FAULT");
+        if (spec && spec[0] != '\0')
+            parseSpec(spec);
+    });
+}
+
+} // namespace
+
+const char *
+siteName(Site site)
+{
+    switch (site) {
+    case Site::WorkerExit:
+        return "worker-exit";
+    case Site::WorkerHang:
+        return "worker-hang";
+    case Site::FrameTruncate:
+        return "frame-truncate";
+    case Site::FrameGarbage:
+        return "frame-garbage";
+    case Site::StoreCorrupt:
+        return "store-corrupt";
+    case Site::StoreTornIndex:
+        return "store-torn-index";
+    case Site::ForkFail:
+        return "fork-fail";
+    case Site::NumSites:
+        break;
+    }
+    return "?";
+}
+
+bool
+shouldFire(Site site)
+{
+    parseEnvOnce();
+    if (!armedAny.load(std::memory_order_acquire))
+        return false;
+    size_t s = static_cast<size_t>(site);
+    uint64_t count = counters[s].fetch_add(1) + 1;
+    if (plan.armed[s].count(count) == 0)
+        return false;
+    warn("fault injection: firing %s occurrence %llu",
+         siteName(site), static_cast<unsigned long long>(count));
+    return true;
+}
+
+void
+setSpecForTest(const std::string &spec)
+{
+    // Make sure a racing env parse can't overwrite the test plan.
+    parseEnvOnce();
+    for (auto &c : counters)
+        c.store(0);
+    parseSpec(spec);
+}
+
+void
+disarmAll()
+{
+    armedAny.store(false, std::memory_order_release);
+}
+
+} // namespace oova::faultinj

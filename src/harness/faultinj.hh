@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Deterministic fault injection for the sweep farm (OOVA_FAULT).
+ *
+ * Every recovery path in the farm — worker supervision, retries,
+ * store quarantine, index repair, the in-process fallback — is dead
+ * code until something fails, and real failures are neither portable
+ * nor reproducible. This harness makes them both: code at each
+ * failure-prone site asks shouldFire() whether the *nth* passage
+ * through that site should fail, and the spec arming those counters
+ * comes from one environment variable, so a fault schedule is a
+ * string that replays identically on every machine and in CI.
+ *
+ * Spec grammar (also documented in README "Fault tolerance"):
+ *
+ *   OOVA_FAULT=<site>:<nth>[,<site>:<nth>...]
+ *
+ * where <site> is one of the kebab-case names below and <nth> is a
+ * 1-based count of evaluations of that site *in the evaluating
+ * process*. Parent-side sites (worker-exit, worker-hang, fork-fail,
+ * store-corrupt, store-torn-index) count per spawn attempt or store
+ * write in the sweep process; frame sites (frame-truncate,
+ * frame-garbage) count per frame inside each worker, and respawned
+ * workers are disarmed so an injected frame fault cannot re-fire
+ * forever. A malformed spec is a user error and fatal()s.
+ */
+
+#ifndef OOVA_HARNESS_FAULTINJ_HH
+#define OOVA_HARNESS_FAULTINJ_HH
+
+#include <string>
+
+namespace oova::faultinj
+{
+
+/** Injectable failure sites (names via siteName, spec-parser and
+ *  README table kept in sync by lint_oova.py rule 9). */
+enum class Site : unsigned
+{
+    /** Parent, per worker spawn: that worker _exit()s after its
+     *  first frame. */
+    WorkerExit = 0,
+    /** Parent, per worker spawn: that worker hangs after its first
+     *  frame (exercises the --job-timeout-ms watchdog). */
+    WorkerHang,
+    /** Worker, per frame: write a truncated frame, then die. */
+    FrameTruncate,
+    /** Worker, per frame: full-length frame of garbage payload. */
+    FrameGarbage,
+    /** Store writer, per store(): persist a truncated entry body. */
+    StoreCorrupt,
+    /** Store writer, per store(): tear the index.log append (half a
+     *  line, no newline). */
+    StoreTornIndex,
+    /** Parent, per worker spawn: the fork "fails", triggering the
+     *  in-process fallback. */
+    ForkFail,
+    NumSites,
+};
+
+/** The spec/README name of @p site, e.g. "worker-exit". */
+const char *siteName(Site site);
+
+/**
+ * Count one evaluation of @p site and return true when this is one
+ * of the armed occurrences of the OOVA_FAULT spec (parsed lazily,
+ * once). Costs one predicted branch when no spec is set.
+ * Thread-safe.
+ */
+bool shouldFire(Site site);
+
+/**
+ * Replace the armed plan with @p spec and zero every site counter —
+ * the test-process equivalent of setting OOVA_FAULT before exec.
+ * Empty spec disarms everything. Not safe concurrently with
+ * shouldFire().
+ */
+void setSpecForTest(const std::string &spec);
+
+/**
+ * Disarm every site in this process (counters keep counting, nothing
+ * fires). Respawned workers call this: they inherit the armed plan
+ * and counters through fork, and an inherited frame fault re-firing
+ * on every respawn would turn one injected fault into an infinite
+ * retry loop.
+ */
+void disarmAll();
+
+} // namespace oova::faultinj
+
+#endif // OOVA_HARNESS_FAULTINJ_HH

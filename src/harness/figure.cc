@@ -117,15 +117,28 @@ jsonManifest(std::ostringstream &os, const RunManifest &manifest)
                        "\"misses\": %llu, \"stores\": %llu, "
                        "\"bytesRead\": %llu, "
                        "\"bytesWritten\": %llu, "
-                       "\"evictions\": %llu},\n",
+                       "\"evictions\": %llu, "
+                       "\"quarantined\": %llu},\n",
                        static_cast<unsigned long long>(s.hits),
                        static_cast<unsigned long long>(s.misses),
                        static_cast<unsigned long long>(s.stores),
                        static_cast<unsigned long long>(s.bytesRead),
                        static_cast<unsigned long long>(
                            s.bytesWritten),
-                       static_cast<unsigned long long>(s.evictions));
+                       static_cast<unsigned long long>(s.evictions),
+                       static_cast<unsigned long long>(
+                           s.quarantined));
     }
+    const SweepFaultStats &f = manifest.faults;
+    os << csprintf("    \"faults\": {\"retriedJobs\": %llu, "
+                   "\"respawnedWorkers\": %llu, "
+                   "\"timeouts\": %llu, "
+                   "\"fallbackJobs\": %llu},\n",
+                   static_cast<unsigned long long>(f.retriedJobs),
+                   static_cast<unsigned long long>(
+                       f.respawnedWorkers),
+                   static_cast<unsigned long long>(f.timeouts),
+                   static_cast<unsigned long long>(f.fallbackJobs));
     os << "    \"jobs\": [";
     for (size_t i = 0; i < manifest.jobs.size(); ++i) {
         const JobRecord &job = manifest.jobs[i];
@@ -245,6 +258,10 @@ parseCommonFlag(int argc, char **argv, int &i, FigureOptions &opts)
         opts.storeStats = true;
         return 1;
     }
+    if (std::strcmp(arg, "--store-fsync") == 0) {
+        opts.storeFsync = true;
+        return 1;
+    }
     const char *val = nullptr;
     int r;
     if ((r = takeValue(argc, argv, i, "--threads", &val)) != 0) {
@@ -282,6 +299,36 @@ parseCommonFlag(int argc, char **argv, int &i, FigureOptions &opts)
             return -1;
         }
         opts.storeMaxMb = static_cast<uint64_t>(n);
+        return 1;
+    }
+    if ((r = takeValue(argc, argv, i, "--job-timeout-ms", &val)) !=
+        0) {
+        if (r < 0)
+            return -1;
+        char *end = nullptr;
+        unsigned long long n = std::strtoull(val, &end, 10);
+        if (!std::isdigit(static_cast<unsigned char>(val[0])) ||
+            end == val || *end != '\0' || n == 0) {
+            std::fprintf(stderr, "bad --job-timeout-ms '%s'\n", val);
+            return -1;
+        }
+        opts.jobTimeoutMs = static_cast<uint64_t>(n);
+        opts.jobTimeoutSet = true;
+        return 1;
+    }
+    if ((r = takeValue(argc, argv, i, "--max-retries", &val)) != 0) {
+        if (r < 0)
+            return -1;
+        char *end = nullptr;
+        unsigned long n = std::strtoul(val, &end, 10);
+        if (!std::isdigit(static_cast<unsigned char>(val[0])) ||
+            end == val || *end != '\0' || n == 0 ||
+            n > kMaxSweepThreads) {
+            std::fprintf(stderr, "bad --max-retries '%s'\n", val);
+            return -1;
+        }
+        opts.maxRetries = static_cast<unsigned>(n);
+        opts.maxRetriesSet = true;
         return 1;
     }
     if ((r = takeValue(argc, argv, i, "--store", &val)) != 0) {
@@ -341,6 +388,25 @@ validateFigureOptions(const FigureOptions &opts)
                      "nothing to cap without a store)\n");
         return false;
     }
+    if (opts.storeFsync && opts.storeDir.empty()) {
+        std::fprintf(stderr,
+                     "--store-fsync needs --store DIR (there is "
+                     "nothing to sync without a store)\n");
+        return false;
+    }
+    if (opts.jobTimeoutSet && !opts.workersSet) {
+        std::fprintf(stderr,
+                     "--job-timeout-ms needs --workers N (the "
+                     "watchdog supervises forked workers; the "
+                     "in-process backend has none)\n");
+        return false;
+    }
+    if (opts.maxRetriesSet && !opts.workersSet) {
+        std::fprintf(stderr,
+                     "--max-retries needs --workers N (only forked "
+                     "workers can fail and be retried)\n");
+        return false;
+    }
     return true;
 }
 
@@ -350,8 +416,9 @@ makeSweepEngine(const TraceCache &traces, const FigureOptions &opts,
 {
     std::unique_ptr<SweepBackend> backend;
     if (opts.workersSet)
-        backend =
-            std::make_unique<ForkedBackend>(traces, opts.workers);
+        backend = std::make_unique<ForkedBackend>(
+            traces, opts.workers, opts.jobTimeoutMs,
+            opts.maxRetries);
     else
         backend =
             std::make_unique<InProcessBackend>(traces, opts.threads);
@@ -373,7 +440,7 @@ printStoreStats(const ResultStore &store)
     std::fprintf(stderr,
                  "[store] dir=%s hits=%llu misses=%llu stores=%llu "
                  "bytesRead=%llu bytesWritten=%llu evictions=%llu "
-                 "hitRate=%.1f%%\n",
+                 "quarantined=%llu hitRate=%.1f%%\n",
                  store.dir().c_str(),
                  static_cast<unsigned long long>(s.hits),
                  static_cast<unsigned long long>(s.misses),
@@ -381,6 +448,7 @@ printStoreStats(const ResultStore &store)
                  static_cast<unsigned long long>(s.bytesRead),
                  static_cast<unsigned long long>(s.bytesWritten),
                  static_cast<unsigned long long>(s.evictions),
+                 static_cast<unsigned long long>(s.quarantined),
                  rate);
 }
 
@@ -418,7 +486,9 @@ namespace
 /** Shared by --help (stdout, exit 0) and bad usage (stderr, exit 2). */
 constexpr char kFigureUsage[] =
     "[--threads N | --workers N] [--store DIR] [--store-stats]\n"
-    "       [--store-max-mb N] [--stats FILE] [--perfetto FILE]\n"
+    "       [--store-max-mb N] [--store-fsync] "
+    "[--job-timeout-ms N]\n"
+    "       [--max-retries N] [--stats FILE] [--perfetto FILE]\n"
     "       [--json] [--progress] [--scale S]\n"
     "\n"
     "  --threads N     in-process worker threads (default backend; "
@@ -428,6 +498,15 @@ constexpr char kFigureUsage[] =
     "                  --threads and --workers are mutually "
     "exclusive: neither\n"
     "                  takes precedence, passing both is an error\n"
+    "  --job-timeout-ms N  kill and respawn a forked worker whose "
+    "next result is\n"
+    "                  overdue by N ms, requeueing its jobs (needs "
+    "--workers)\n"
+    "  --max-retries N extra attempts per job after a worker "
+    "failure before the\n"
+    "                  sweep fails with the job's attempt history "
+    "(default 2;\n"
+    "                  needs --workers)\n"
     "  --store DIR     content-addressed result store: serve "
     "previously computed\n"
     "                  results from DIR, persist fresh results into "
@@ -438,6 +517,9 @@ constexpr char kFigureUsage[] =
     "past the cap\n"
     "                  evicts the oldest entries first (needs "
     "--store)\n"
+    "  --store-fsync   fsync store entries before publishing them "
+    "(crash\n"
+    "                  durability; needs --store)\n"
     "  --stats FILE    gem5-style `name value` telemetry dump of "
     "every result\n"
     "                  (\"-\" = stdout); occupancy needs "
@@ -487,6 +569,8 @@ runFigureMain(const std::string &name, int argc, char **argv)
         store = std::make_unique<ResultStore>(opts.storeDir);
         if (opts.storeMaxMb)
             store->setMaxBytes(opts.storeMaxMb << 20);
+        if (opts.storeFsync)
+            store->setFsync(true);
     }
     SweepEngine engine = makeSweepEngine(traces, opts, store.get());
     if (opts.progress)
@@ -513,6 +597,7 @@ runFigureMain(const std::string &name, int argc, char **argv)
             manifest.hasStore = true;
             manifest.store = store->stats();
         }
+        manifest.faults = engine.faultStats();
         manifest.jobs = engine.manifest();
         out = renderFigureJson(*fig, result, traces.scale(),
                                engine.threads(), &manifest);

@@ -82,9 +82,12 @@ struct RunManifest
      * Bump when the JSON envelope's shape changes. v2: added
      * resultSchemaVersion, the backend description, the optional
      * store-stats block, and the per-job "cached" flag. v3: the
-     * store block gained "evictions" (the --store-max-mb cap).
+     * store block gained "evictions" (the --store-max-mb cap). v4:
+     * the store block gained "quarantined" and the envelope gained
+     * the "faults" recovery-counter block, so a run that survived
+     * worker deaths or store corruption says so on the record.
      */
-    static constexpr int kSchemaVersion = 3;
+    static constexpr int kSchemaVersion = 4;
     /** SimResult::kResultSchemaVersion in force when this ran. */
     int resultSchemaVersion = SimResult::kResultSchemaVersion;
     double scale = 1.0;   ///< effective OOVA_SCALE
@@ -95,6 +98,8 @@ struct RunManifest
     /** Result-store traffic for this run; valid when hasStore. */
     bool hasStore = false;
     StoreStats store;
+    /** Backend fault-recovery counters (all zero when healthy). */
+    SweepFaultStats faults;
     std::vector<JobRecord> jobs;
 };
 
@@ -136,13 +141,30 @@ struct FigureOptions
     std::string statsPath;
     /** --perfetto FILE: Chrome trace-event JSON of the sweep. */
     std::string perfettoPath;
+    /**
+     * --job-timeout-ms N: the forked backend's per-job watchdog —
+     * a worker whose next result is overdue by N ms is killed and
+     * its jobs requeued. 0 = no watchdog (the default).
+     */
+    uint64_t jobTimeoutMs = 0;
+    bool jobTimeoutSet = false;
+    /**
+     * --max-retries N: extra attempts per job after its first
+     * worker failure before the sweep fails with the job's attempt
+     * history.
+     */
+    unsigned maxRetries = 2;
+    bool maxRetriesSet = false;
+    /** --store-fsync: fsync entries before publishing them. */
+    bool storeFsync = false;
 };
 
 /**
  * Cross-flag validation after parsing: rejects --threads combined
- * with --workers, and --store-stats or --store-max-mb without
- * --store, with an explanatory message on stderr. Returns false on
- * rejection.
+ * with --workers; --store-stats, --store-max-mb or --store-fsync
+ * without --store; and --job-timeout-ms or --max-retries without
+ * --workers — each with an explanatory message on stderr. Returns
+ * false on rejection.
  */
 bool validateFigureOptions(const FigureOptions &opts);
 
@@ -180,6 +202,7 @@ constexpr unsigned kMaxSweepThreads = 4096;
  * Try to consume argv[i] (and its value, if any) as one of the
  * common flags --threads N / --workers N / --json / --progress /
  * --scale S / --store DIR / --store-stats / --store-max-mb N /
+ * --store-fsync / --job-timeout-ms N / --max-retries N /
  * --stats FILE / --perfetto FILE (value-taking flags also
  * accept the --flag=value spelling). Returns 1 if consumed
  * (advancing @p i past any value), 0 if argv[i] is not a common

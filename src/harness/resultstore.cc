@@ -1,15 +1,19 @@
 #include "harness/resultstore.hh"
 
 #include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <unordered_set>
 #include <vector>
+
+#include <fcntl.h>
 #include <unistd.h>
 
 #include "common/logging.hh"
+#include "harness/faultinj.hh"
 
 namespace oova
 {
@@ -25,6 +29,29 @@ fnv1a(const std::string &s, uint64_t hash)
     return hash;
 }
 
+/** A well-formed index key: exactly 32 lowercase hex digits. */
+bool
+validIndexKey(const std::string &key)
+{
+    if (key.size() != 32)
+        return false;
+    for (char c : key)
+        if (!std::isxdigit(static_cast<unsigned char>(c)))
+            return false;
+    return true;
+}
+
+/** Open + fsync + close; best-effort (durability, not correctness). */
+void
+fsyncPath(const std::string &path)
+{
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return;
+    ::fsync(fd);
+    ::close(fd);
+}
+
 } // namespace
 
 ResultStore::ResultStore(std::string dir) : dir_(std::move(dir))
@@ -34,6 +61,31 @@ ResultStore::ResultStore(std::string dir) : dir_(std::move(dir))
     if (ec || !std::filesystem::is_directory(dir_))
         fatal("cannot create result store directory '%s'",
               dir_.c_str());
+
+    // Repair a torn index tail (an appender that died mid-line):
+    // terminating the partial line keeps it from merging with the
+    // next append into one unparsable record. Replay additionally
+    // skips any line whose key is not 32 hex digits, so even an
+    // unrepaired tear only costs one ignorable line.
+    std::string idxPath = dir_ + "/index.log";
+    std::ifstream idx(idxPath, std::ios::binary | std::ios::ate);
+    if (idx) {
+        auto size = idx.tellg();
+        if (size > 0) {
+            idx.seekg(-1, std::ios::end);
+            char last = '\n';
+            idx.get(last);
+            idx.close();
+            if (last != '\n') {
+                warn("result store: repairing torn index tail in "
+                     "'%s'",
+                     idxPath.c_str());
+                std::ofstream fix(idxPath,
+                                  std::ios::app | std::ios::binary);
+                fix << '\n';
+            }
+        }
+    }
 }
 
 std::string
@@ -82,6 +134,13 @@ ResultStore::load(const std::string &key, SimResult &out)
         ++stats_.misses;
         return false;
     };
+    // An entry that exists but cannot be trusted is evidence —
+    // quarantine it instead of leaving a perpetual silent miss
+    // behind; the caller re-simulates and store() heals the key.
+    auto corrupt = [&] {
+        quarantine(key);
+        return miss();
+    };
 
     std::ifstream is(entryPath(key), std::ios::binary);
     if (!is)
@@ -95,9 +154,9 @@ ResultStore::load(const std::string &key, SimResult &out)
     size_t nl = body.find('\n');
     if (nl == std::string::npos ||
         body.substr(0, nl) != headerLine(key))
-        return miss();
+        return corrupt();
     if (!SimResult::fromJson(body.substr(nl + 1), out))
-        return miss();
+        return corrupt();
 
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.hits;
@@ -106,9 +165,30 @@ ResultStore::load(const std::string &key, SimResult &out)
 }
 
 void
+ResultStore::quarantine(const std::string &key)
+{
+    std::string from = entryPath(key);
+    std::string to = dir_ + "/" + key + ".bad";
+    // rename() is atomic, so of any number of concurrent readers
+    // tripping over the same corrupt entry exactly one wins the
+    // rename — only that one counts and reports it.
+    if (std::rename(from.c_str(), to.c_str()) != 0)
+        return;
+    warn("result store: quarantined corrupt entry '%s' -> '%s'",
+         from.c_str(), to.c_str());
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.quarantined;
+}
+
+void
 ResultStore::store(const std::string &key, const SimResult &res)
 {
     std::string body = headerLine(key) + "\n" + res.toJson();
+    // Injected corruption: publish only half the entry, the on-disk
+    // shape a lost write or truncated copy leaves behind. load()
+    // must quarantine it, never serve or perpetually re-miss it.
+    if (faultinj::shouldFire(faultinj::Site::StoreCorrupt))
+        body.resize(body.size() / 2);
 
     uint64_t seq;
     {
@@ -134,20 +214,33 @@ ResultStore::store(const std::string &key, const SimResult &res)
             return;
         }
     }
+    // Data before name: with the entry bytes on stable storage
+    // before the rename publishes them, a crash can never leave a
+    // published-but-hollow entry.
+    if (fsync_)
+        fsyncPath(tmp);
     if (std::rename(tmp.c_str(), entryPath(key).c_str()) != 0) {
         warn("result store: cannot publish '%s'",
              entryPath(key).c_str());
         std::remove(tmp.c_str());
         return;
     }
+    if (fsync_)
+        fsyncPath(dir_);
 
     // Advisory provenance log; one formatted line per append so
     // interleaved writers stay line-atomic in practice.
     {
+        std::string line =
+            csprintf("%s %s %s\n", key.c_str(), res.program.c_str(),
+                     res.machine.c_str());
+        // Injected tear: half a line, no newline — the ctor repair
+        // and the hex-key filter in replay must both shrug it off.
+        if (faultinj::shouldFire(faultinj::Site::StoreTornIndex))
+            line.resize(line.size() / 2);
         std::ofstream idx(dir_ + "/index.log",
                           std::ios::app | std::ios::binary);
-        idx << csprintf("%s %s %s\n", key.c_str(),
-                        res.program.c_str(), res.machine.c_str());
+        idx << line;
     }
 
     {
@@ -183,7 +276,11 @@ ResultStore::enforceCap()
             size_t sp = line.find(' ');
             std::string key =
                 sp == std::string::npos ? line : line.substr(0, sp);
-            if (!key.empty())
+            // A torn append (no trailing newline before the next
+            // writer's line, or a half-written key) yields a
+            // malformed key; skipping it degrades gracefully —
+            // worst case one entry ages as if never refreshed.
+            if (validIndexKey(key))
                 raw.push_back(std::move(key));
         }
         for (size_t i = raw.size(); i-- > 0;)

@@ -15,9 +15,12 @@
  * any input that could change a result changes the key. Writes go
  * through a temp file plus atomic rename, so concurrent writers
  * (parallel sweeps sharing one store, even across processes) can
- * never expose a torn entry; readers treat anything unparsable —
- * truncated files, foreign schema versions, stray garbage — as a
- * plain miss and re-simulate.
+ * never expose a torn entry; readers quarantine anything unparsable
+ * — truncated files, foreign schema versions, stray garbage — to
+ * <key>.bad and re-simulate, so one bad sector costs one miss, not
+ * a perpetual one. index.log replay tolerates a torn tail line
+ * (crashed appender), and setFsync() buys full crash durability for
+ * the entries themselves.
  */
 
 #ifndef OOVA_HARNESS_RESULTSTORE_HH
@@ -42,6 +45,8 @@ struct StoreStats
     uint64_t bytesWritten = 0;
     /** Entries unlinked by the size cap (setMaxBytes). */
     uint64_t evictions = 0;
+    /** Corrupt entries renamed to <key>.bad on first detection. */
+    uint64_t quarantined = 0;
 };
 
 /** Per-figure deltas for the run manifest. */
@@ -51,7 +56,8 @@ operator-(const StoreStats &a, const StoreStats &b)
     return {a.hits - b.hits,           a.misses - b.misses,
             a.stores - b.stores,       a.bytesRead - b.bytesRead,
             a.bytesWritten - b.bytesWritten,
-            a.evictions - b.evictions};
+            a.evictions - b.evictions,
+            a.quarantined - b.quarantined};
 }
 
 /** On-disk content-addressed SimResult store. See the file comment. */
@@ -78,9 +84,14 @@ class ResultStore
                                double scale);
 
     /**
-     * Look @p key up; on a hit fill @p out and return true. Any
-     * unreadable, torn, mis-keyed or schema-mismatched entry is a
-     * miss. Counts into stats(). Thread-safe.
+     * Look @p key up; on a hit fill @p out and return true. A
+     * missing entry is a plain miss; a present-but-unusable one
+     * (torn, mis-keyed, schema-mismatched, garbage) is quarantined —
+     * renamed to <key>.bad, preserved for post-mortem, counted in
+     * StoreStats::quarantined — and then also a miss, so the farm
+     * re-simulates and the next store() heals the entry. The rename
+     * is atomic, so concurrent readers of a corrupt entry quarantine
+     * it exactly once. Counts into stats(). Thread-safe.
      */
     bool load(const std::string &key, SimResult &out);
 
@@ -113,9 +124,20 @@ class ResultStore
      */
     void setMaxBytes(uint64_t bytes);
 
+    /**
+     * fsync every entry to stable storage before publishing it
+     * (rename), and fsync the directory after — a crash can then
+     * never leave a published-but-empty entry behind. Off by
+     * default: entries are verifiable on read (and quarantined when
+     * bad), so durability is an opt-in tax (--store-fsync).
+     */
+    void setFsync(bool on) { fsync_ = on; }
+
   private:
     std::string entryPath(const std::string &key) const;
     std::string headerLine(const std::string &key) const;
+    /** Rename a corrupt entry to <key>.bad; count if we won. */
+    void quarantine(const std::string &key);
     /** Apply the size cap; called after each successful store(). */
     void enforceCap();
 
@@ -124,6 +146,7 @@ class ResultStore
     StoreStats stats_;
     uint64_t tmpSeq_ = 0;
     uint64_t maxBytes_ = 0;
+    bool fsync_ = false;
 };
 
 } // namespace oova

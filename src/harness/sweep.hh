@@ -88,6 +88,36 @@ SweepJob refTraceJob(std::shared_ptr<const Trace> trace,
 SweepJob idealJob(std::string trace);
 
 /**
+ * Fault-recovery counters of a backend, accumulated across run()
+ * calls: how often the supervision layer had to intervene. All zero
+ * on a healthy sweep; surfaced in the --json run manifest so a run
+ * that survived faults says so.
+ */
+struct SweepFaultStats
+{
+    /** Jobs requeued after their worker died, hung or broke
+     *  protocol (one count per job per failure). */
+    uint64_t retriedJobs = 0;
+    /** Replacement workers spawned to take over requeued jobs. */
+    uint64_t respawnedWorkers = 0;
+    /** Workers killed by the --job-timeout-ms watchdog. */
+    uint64_t timeouts = 0;
+    /** Jobs that ran in-process because forking failed or stopped
+     *  being worth retrying. */
+    uint64_t fallbackJobs = 0;
+};
+
+/** Per-figure deltas for the run manifest. */
+inline SweepFaultStats
+operator-(const SweepFaultStats &a, const SweepFaultStats &b)
+{
+    return {a.retriedJobs - b.retriedJobs,
+            a.respawnedWorkers - b.respawnedWorkers,
+            a.timeouts - b.timeouts,
+            a.fallbackJobs - b.fallbackJobs};
+}
+
+/**
  * One executed job's entry in the run manifest: what ran (program ×
  * machine label), how long the job took on its worker, and whether
  * the result was served from the result store instead of simulated.
@@ -141,6 +171,9 @@ class SweepEngine
     unsigned threads() const;
     /** The backend's self-description, e.g. "store+forked x4". */
     std::string backendName() const;
+    /** The backend's fault-recovery counters (all zero when the
+     *  backend has no failure modes, e.g. in-process). */
+    SweepFaultStats faultStats() const;
     const TraceCache &traces() const { return traces_; }
 
     /**

@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Fault-tolerance suite for the sweep farm: every OOVA_FAULT site is
+ * injected against a live forked sweep and the recovered run must
+ * agree field for field with a fault-free one — same results, same
+ * rendered figure bytes, zero invariant-audit violations — while the
+ * backend's fault counters record exactly what happened. Retry
+ * exhaustion and malformed fault specs must die loudly instead.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "check/check.hh"
+#include "harness/backend.hh"
+#include "harness/experiment.hh"
+#include "harness/faultinj.hh"
+#include "harness/figure.hh"
+#include "harness/sweep.hh"
+
+using namespace oova;
+
+namespace
+{
+
+constexpr double kScale = 0.25;
+
+/** Field-by-field equality of two simulation outcomes. */
+void
+expectSameResult(const SimResult &a, const SimResult &b)
+{
+    EXPECT_EQ(a.program, b.program);
+    EXPECT_EQ(a.machine, b.machine);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.stateCycles, b.stateCycles);
+    EXPECT_EQ(a.fu1BusyCycles, b.fu1BusyCycles);
+    EXPECT_EQ(a.fu2BusyCycles, b.fu2BusyCycles);
+    EXPECT_EQ(a.memBusyCycles, b.memBusyCycles);
+    EXPECT_EQ(a.memRequests, b.memRequests);
+    EXPECT_EQ(a.memBankConflicts, b.memBankConflicts);
+    EXPECT_EQ(a.memConflictCycles, b.memConflictCycles);
+    EXPECT_EQ(a.memIndexedConflicts, b.memIndexedConflicts);
+    EXPECT_EQ(a.memIndexedConflictCycles, b.memIndexedConflictCycles);
+    EXPECT_EQ(a.cacheHits, b.cacheHits);
+    EXPECT_EQ(a.cacheMisses, b.cacheMisses);
+    EXPECT_EQ(a.mshrStallCycles, b.mshrStallCycles);
+    EXPECT_EQ(a.tlbHits, b.tlbHits);
+    EXPECT_EQ(a.tlbMisses, b.tlbMisses);
+    EXPECT_EQ(a.tlbIndexedMisses, b.tlbIndexedMisses);
+    EXPECT_EQ(a.tlbMissCycles, b.tlbMissCycles);
+    EXPECT_EQ(a.vectorLoadsEliminated, b.vectorLoadsEliminated);
+    EXPECT_EQ(a.scalarLoadsEliminated, b.scalarLoadsEliminated);
+    EXPECT_EQ(a.branchMispredicts, b.branchMispredicts);
+    EXPECT_EQ(a.renameStallCycles, b.renameStallCycles);
+    EXPECT_EQ(a.robStallCycles, b.robStallCycles);
+    EXPECT_EQ(a.queueStallCycles, b.queueStallCycles);
+    EXPECT_EQ(a.traps, b.traps);
+    EXPECT_EQ(a.stallCycles, b.stallCycles);
+    // And the byte-level proof: the persisted form is identical too.
+    EXPECT_EQ(a.toJson(), b.toJson());
+}
+
+/**
+ * A batch wide enough that every one of 4 workers owns several jobs
+ * (so a killed worker always has work to requeue), with the full
+ * invariant audit riding inside every job.
+ */
+std::vector<SweepJob>
+makeJobs()
+{
+    std::vector<SweepJob> jobs;
+    for (const char *prog : {"hydro2d", "nasa7", "arc2d"}) {
+        for (unsigned regs : {16u, 32u, 64u}) {
+            OooConfig cfg = makeOooConfig(regs);
+            cfg.checkLevel = 2;
+            jobs.push_back(oooJob(prog, cfg));
+        }
+        OooConfig late = makeOooConfig(32, 16, 50, CommitMode::Late,
+                                       LoadElimMode::SleVle);
+        late.checkLevel = 2;
+        jobs.push_back(oooJob(prog, late));
+        RefConfig rc;
+        rc.checkLevel = 2;
+        jobs.push_back(refJob(prog, rc));
+    }
+    return jobs;
+}
+
+/**
+ * Run @p jobs through a supervised ForkedBackend with @p spec armed
+ * and require the recovered outcome to match the fault-free
+ * in-process run field for field, with zero violations.
+ */
+SweepFaultStats
+expectRecoveredRunMatches(const std::string &spec,
+                          uint64_t jobTimeoutMs = 0)
+{
+    check::resetProcessViolations();
+    TraceCache traces(kScale);
+    std::vector<SweepJob> jobs = makeJobs();
+
+    InProcessBackend reference(traces, 2);
+    std::vector<JobOutcome> want = reference.run(jobs);
+
+    faultinj::setSpecForTest(spec);
+    ForkedBackend forked(traces, 4, jobTimeoutMs);
+    std::vector<JobOutcome> got = forked.run(jobs);
+    faultinj::setSpecForTest("");
+
+    EXPECT_EQ(want.size(), got.size());
+    for (size_t i = 0; i < want.size() && i < got.size(); ++i)
+        expectSameResult(want[i].result, got[i].result);
+    EXPECT_EQ(check::processViolationCount(), 0u);
+    check::resetProcessViolations();
+    return forked.faultStats();
+}
+
+} // namespace
+
+// ---------------------------------------------- recovery per site
+
+TEST(FaultRecovery, WorkerExitRecovers)
+{
+    // The second spawned worker dies right after its first frame;
+    // its remaining jobs must be requeued and the run unharmed.
+    SweepFaultStats f = expectRecoveredRunMatches("worker-exit:2");
+    EXPECT_GT(f.retriedJobs, 0u);
+    EXPECT_EQ(f.respawnedWorkers, 1u);
+    EXPECT_EQ(f.timeouts, 0u);
+    EXPECT_EQ(f.fallbackJobs, 0u);
+}
+
+TEST(FaultRecovery, WorkerHangTripsWatchdogAndRecovers)
+{
+    // The first worker wedges after its first frame; only the
+    // --job-timeout-ms watchdog can notice (no EOF, no exit).
+    SweepFaultStats f =
+        expectRecoveredRunMatches("worker-hang:1", 400);
+    EXPECT_GT(f.retriedJobs, 0u);
+    EXPECT_GE(f.timeouts, 1u);
+    EXPECT_GE(f.respawnedWorkers, 1u);
+}
+
+TEST(FaultRecovery, FrameTruncateRecovers)
+{
+    // Frame sites count per worker process: every worker's first
+    // frame is torn, so all four die and all four respawn (disarmed,
+    // or the fault would re-fire forever).
+    SweepFaultStats f = expectRecoveredRunMatches("frame-truncate:1");
+    EXPECT_GT(f.retriedJobs, 0u);
+    EXPECT_EQ(f.respawnedWorkers, 4u);
+}
+
+TEST(FaultRecovery, FrameGarbageRecovers)
+{
+    // A full-length frame of garbage: the parent must detect the
+    // unparsable payload, kill the liar and requeue its jobs.
+    SweepFaultStats f = expectRecoveredRunMatches("frame-garbage:1");
+    EXPECT_GT(f.retriedJobs, 0u);
+    EXPECT_EQ(f.respawnedWorkers, 4u);
+}
+
+TEST(FaultRecovery, MultipleSimultaneousFaultsRecover)
+{
+    // The acceptance mix: one crash, one hang, one torn frame in a
+    // single 4-worker sweep.
+    SweepFaultStats f = expectRecoveredRunMatches(
+        "worker-exit:2,worker-hang:3,frame-truncate:2", 400);
+    EXPECT_GT(f.retriedJobs, 0u);
+    EXPECT_GE(f.respawnedWorkers, 2u);
+    EXPECT_GE(f.timeouts, 1u);
+}
+
+// ------------------------------------------- fork-fail fallback
+
+TEST(FaultRecovery, ForkFailFallsBackToByteIdenticalFigure)
+{
+    // With fork() failing, the whole figure must still come out —
+    // rendered byte-identical to the in-process run — via the
+    // fallback path, and the manifest counters must say so.
+    const FigureDef *fig = findFigure("fig4");
+    ASSERT_NE(fig, nullptr);
+    TraceCache traces(kScale);
+
+    SweepEngine inProcess(traces, 2);
+    std::string want =
+        renderFigureText(*fig, fig->fn(inProcess), kScale);
+
+    faultinj::setSpecForTest("fork-fail:1");
+    SweepEngine forked(
+        traces, std::make_unique<ForkedBackend>(traces, 4));
+    std::string got =
+        renderFigureText(*fig, fig->fn(forked), kScale);
+    faultinj::setSpecForTest("");
+
+    EXPECT_EQ(want, got);
+    EXPECT_GT(forked.faultStats().fallbackJobs, 0u);
+}
+
+// ------------------------------------------------ loud failures
+
+TEST(FaultDeathTest, RetryExhaustionDiesWithAttemptHistory)
+{
+    TraceCache traces(kScale);
+    OooConfig cfg = makeOooConfig(16);
+    // Four jobs: each injected death still delivers one frame first,
+    // so job 3 survives three worker deaths' requeues — attempt 1
+    // plus 2 retries — before the batch could reach it.
+    std::vector<SweepJob> jobs = {
+        oooJob("swm256", cfg), oooJob("hydro2d", cfg),
+        oooJob("nasa7", cfg), oooJob("arc2d", cfg)};
+    // One worker, killed on every spawn: the sweep must fail —
+    // naming the job and replaying its full attempt history —
+    // rather than loop or hang.
+    EXPECT_EXIT(
+        {
+            faultinj::setSpecForTest(
+                "worker-exit:1,worker-exit:2,worker-exit:3");
+            ForkedBackend backend(traces, 1, 0, 2);
+            backend.run(jobs);
+        },
+        ::testing::ExitedWithCode(1),
+        "failed 3 times; --max-retries 2 exhausted");
+}
+
+TEST(FaultDeathTest, MalformedSpecIsFatal)
+{
+    EXPECT_EXIT(faultinj::setSpecForTest("no-such-site:1"),
+                ::testing::ExitedWithCode(1),
+                "OOVA_FAULT: unknown site");
+    EXPECT_EXIT(faultinj::setSpecForTest("worker-exit:0"),
+                ::testing::ExitedWithCode(1),
+                "OOVA_FAULT: bad occurrence");
+    EXPECT_EXIT(faultinj::setSpecForTest("worker-exit:1junk"),
+                ::testing::ExitedWithCode(1),
+                "OOVA_FAULT: bad occurrence");
+    EXPECT_EXIT(faultinj::setSpecForTest("worker-exit"),
+                ::testing::ExitedWithCode(1),
+                "OOVA_FAULT: entry");
+}
+
+// -------------------------------------------------- spec plumbing
+
+TEST(FaultSpec, SiteNamesAreStable)
+{
+    // The kebab-case names are an external interface (OOVA_FAULT,
+    // the README table, the chaos CI job); renaming one is a
+    // breaking change and must be deliberate.
+    using faultinj::Site;
+    EXPECT_STREQ(faultinj::siteName(Site::WorkerExit), "worker-exit");
+    EXPECT_STREQ(faultinj::siteName(Site::WorkerHang), "worker-hang");
+    EXPECT_STREQ(faultinj::siteName(Site::FrameTruncate),
+                 "frame-truncate");
+    EXPECT_STREQ(faultinj::siteName(Site::FrameGarbage),
+                 "frame-garbage");
+    EXPECT_STREQ(faultinj::siteName(Site::StoreCorrupt),
+                 "store-corrupt");
+    EXPECT_STREQ(faultinj::siteName(Site::StoreTornIndex),
+                 "store-torn-index");
+    EXPECT_STREQ(faultinj::siteName(Site::ForkFail), "fork-fail");
+}
+
+TEST(FaultSpec, CountersCountAndDisarmSilences)
+{
+    using faultinj::Site;
+    faultinj::setSpecForTest("store-corrupt:2,store-corrupt:4");
+    EXPECT_FALSE(faultinj::shouldFire(Site::StoreCorrupt)); // 1st
+    EXPECT_TRUE(faultinj::shouldFire(Site::StoreCorrupt));  // 2nd
+    EXPECT_FALSE(faultinj::shouldFire(Site::StoreCorrupt)); // 3rd
+    // Other sites share the spec but not the counter.
+    EXPECT_FALSE(faultinj::shouldFire(Site::StoreTornIndex));
+    faultinj::disarmAll();
+    EXPECT_FALSE(faultinj::shouldFire(Site::StoreCorrupt)); // 4th
+    faultinj::setSpecForTest("");
+}

@@ -463,6 +463,74 @@ TEST(FigureFlags, ValidateRejectsAmbiguousCombinations)
     EXPECT_TRUE(validateFigureOptions(storeAndStats));
 }
 
+TEST(FigureFlags, ParsesSupervisionFlags)
+{
+    FigureOptions opts;
+    EXPECT_EQ(parseAll({"--workers", "4", "--job-timeout-ms", "5000",
+                        "--max-retries", "3"},
+                       opts),
+              1);
+    EXPECT_TRUE(opts.jobTimeoutSet);
+    EXPECT_EQ(opts.jobTimeoutMs, 5000u);
+    EXPECT_TRUE(opts.maxRetriesSet);
+    EXPECT_EQ(opts.maxRetries, 3u);
+    EXPECT_TRUE(validateFigureOptions(opts));
+
+    // The --flag=value spellings work like everywhere else.
+    FigureOptions eq;
+    EXPECT_EQ(parseAll({"--workers=2", "--job-timeout-ms=250",
+                        "--max-retries=1"},
+                       eq),
+              1);
+    EXPECT_EQ(eq.jobTimeoutMs, 250u);
+    EXPECT_EQ(eq.maxRetries, 1u);
+
+    // A zero timeout (watchdog that fires never/always?) and zero
+    // retries ("fail on the first hiccup" is spelled by not using a
+    // farm) are ambiguous: rejected like the other zero values, as
+    // are the usual malformed spellings.
+    EXPECT_EQ(parseAll({"--job-timeout-ms", "0"}, opts), -1);
+    EXPECT_EQ(parseAll({"--job-timeout-ms", "-5"}, opts), -1);
+    EXPECT_EQ(parseAll({"--job-timeout-ms", "50x"}, opts), -1);
+    EXPECT_EQ(parseAll({"--job-timeout-ms"}, opts), -1);
+    EXPECT_EQ(parseAll({"--max-retries", "0"}, opts), -1);
+    EXPECT_EQ(parseAll({"--max-retries", "-1"}, opts), -1);
+    EXPECT_EQ(parseAll({"--max-retries", "2x"}, opts), -1);
+    EXPECT_EQ(parseAll({"--max-retries"}, opts), -1);
+}
+
+TEST(FigureFlags, SupervisionAndFsyncNeedTheirSubsystem)
+{
+    // Supervision tunes the forked supervisor: without --workers
+    // there is nothing to supervise, so the flags are an error, not
+    // silently inert.
+    FigureOptions timeoutOnly;
+    ASSERT_EQ(parseAll({"--job-timeout-ms", "100"}, timeoutOnly), 1);
+    EXPECT_FALSE(validateFigureOptions(timeoutOnly));
+
+    FigureOptions retriesOnly;
+    ASSERT_EQ(parseAll({"--max-retries", "1"}, retriesOnly), 1);
+    EXPECT_FALSE(validateFigureOptions(retriesOnly));
+
+    FigureOptions withThreads;
+    ASSERT_EQ(parseAll({"--threads", "2", "--job-timeout-ms", "100"},
+                       withThreads),
+              1);
+    EXPECT_FALSE(validateFigureOptions(withThreads));
+
+    // --store-fsync without --store has nothing to sync.
+    FigureOptions fsyncOnly;
+    ASSERT_EQ(parseAll({"--store-fsync"}, fsyncOnly), 1);
+    EXPECT_FALSE(validateFigureOptions(fsyncOnly));
+
+    FigureOptions fsyncStore;
+    ASSERT_EQ(parseAll({"--store", "/tmp/st", "--store-fsync"},
+                       fsyncStore),
+              1);
+    EXPECT_TRUE(fsyncStore.storeFsync);
+    EXPECT_TRUE(validateFigureOptions(fsyncStore));
+}
+
 TEST(FigureMain, UnknownFigureAndBadFlagsExitNonZero)
 {
     // runFigureMain is the entry point of every per-figure binary

@@ -306,7 +306,7 @@ TEST(ResultStore, RoundTripHitMatchesStoredResult)
     EXPECT_EQ(s.bytesRead, s.bytesWritten);
 }
 
-TEST(ResultStore, CorruptAndMismatchedEntriesAreMisses)
+TEST(ResultStore, CorruptAndMismatchedEntriesAreQuarantined)
 {
     std::string dir = makeStoreDir("corrupt");
     ResultStore store(dir);
@@ -314,8 +314,11 @@ TEST(ResultStore, CorruptAndMismatchedEntriesAreMisses)
     std::string key = ResultStore::makeKey(0xabcd, "cfg", 0.25);
     store.store(key, in);
     std::string path = dir + "/" + key + ".json";
+    std::string badPath = dir + "/" + key + ".bad";
 
-    // Truncated mid-record: miss.
+    // Truncated mid-record: a miss, and the evidence is preserved —
+    // the entry moves to <key>.bad instead of staying behind as a
+    // perpetual parse failure.
     {
         std::ifstream is(path, std::ios::binary);
         std::ostringstream buf;
@@ -328,21 +331,98 @@ TEST(ResultStore, CorruptAndMismatchedEntriesAreMisses)
     }
     SimResult out;
     EXPECT_FALSE(store.load(key, out));
+    EXPECT_EQ(store.stats().quarantined, 1u);
+    EXPECT_FALSE(std::filesystem::exists(path));
+    EXPECT_TRUE(std::filesystem::exists(badPath));
+
+    // Re-storing heals the key: the next load is a clean hit again.
+    store.store(key, in);
+    ASSERT_TRUE(store.load(key, out));
+    expectSameResult(in, out);
 
     // A record stored under a different key (file renamed by hand,
-    // or a header/key mismatch from a foreign store version): miss.
-    store.store(key, in);
+    // or a header/key mismatch from a foreign store version): a
+    // quarantined miss too.
     std::string otherKey = ResultStore::makeKey(0xabce, "cfg", 0.25);
     std::string otherPath = dir + "/" + otherKey + ".json";
     ASSERT_EQ(std::rename(path.c_str(), otherPath.c_str()), 0);
     EXPECT_FALSE(store.load(otherKey, out));
+    EXPECT_TRUE(
+        std::filesystem::exists(dir + "/" + otherKey + ".bad"));
 
-    // Plain garbage: miss.
+    // Plain garbage: quarantined miss.
     {
         std::ofstream os(path, std::ios::binary | std::ios::trunc);
         os << "OOVA-RESULT but not really\n{]";
     }
     EXPECT_FALSE(store.load(key, out));
+    EXPECT_EQ(store.stats().quarantined, 3u);
+
+    // A genuinely absent entry is a plain miss: nothing to preserve,
+    // nothing counted.
+    std::string coldKey = ResultStore::makeKey(0xabcf, "cfg", 0.25);
+    EXPECT_FALSE(store.load(coldKey, out));
+    EXPECT_EQ(store.stats().quarantined, 3u);
+}
+
+TEST(ResultStore, TornIndexTailIsRepairedAndTolerated)
+{
+    std::string dir = makeStoreDir("tornindex");
+    std::string k1, k2;
+    {
+        ResultStore store(dir);
+        SimResult in = fullyPopulatedResult();
+        k1 = ResultStore::makeKey(21, "cfg", 0.25);
+        k2 = ResultStore::makeKey(22, "cfg", 0.25);
+        store.store(k1, in);
+        store.store(k2, in);
+    }
+    // Tear the tail the way a killed appender would: drop the last
+    // line's second half, newline included.
+    std::string idxPath = dir + "/index.log";
+    {
+        std::ifstream is(idxPath, std::ios::binary);
+        std::ostringstream buf;
+        buf << is.rdbuf();
+        std::string body = buf.str();
+        size_t lastLine = body.rfind('\n', body.size() - 2) + 1;
+        size_t keep = lastLine + (body.size() - lastLine) / 2;
+        std::ofstream os(idxPath,
+                         std::ios::binary | std::ios::trunc);
+        os.write(body.data(), static_cast<std::streamsize>(keep));
+    }
+
+    // Reopening repairs the tail (terminates the partial line) and
+    // everything still works: both entries load, and the cap's
+    // index replay does not trip over the torn record.
+    ResultStore store(dir);
+    SimResult out;
+    EXPECT_TRUE(store.load(k1, out));
+    EXPECT_TRUE(store.load(k2, out));
+    {
+        std::ifstream is(idxPath, std::ios::binary | std::ios::ate);
+        ASSERT_GT(is.tellg(), 0);
+        is.seekg(-1, std::ios::end);
+        char last = '\0';
+        is.get(last);
+        EXPECT_EQ(last, '\n');
+    }
+    store.setMaxBytes(1); // force a replay-driven eviction pass
+    store.store(ResultStore::makeKey(23, "cfg", 0.25),
+                fullyPopulatedResult());
+    EXPECT_GT(store.stats().evictions, 0u);
+}
+
+TEST(ResultStore, FsyncRoundTripsUnchanged)
+{
+    ResultStore store(makeStoreDir("fsync"));
+    store.setFsync(true);
+    SimResult in = fullyPopulatedResult();
+    std::string key = ResultStore::makeKey(31, "cfg", 0.25);
+    store.store(key, in);
+    SimResult out;
+    ASSERT_TRUE(store.load(key, out));
+    expectSameResult(in, out);
 }
 
 TEST(ResultStore, ConcurrentWritersOfOneKeyAllWin)
